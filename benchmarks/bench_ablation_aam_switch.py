@@ -1,0 +1,24 @@
+"""Ablation: AAM's LGF/LRF switching rule (Sec. IV-B design choice).
+
+Compares AAM against its two single-strategy variants (always Largest Gain
+First, always Largest Remaining First) and against LAF across the task-count
+sweep, quantifying how much the adaptive switch contributes.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="ablation_aam_switch")
+def test_regenerate_ablation_aam_switch(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("ablation_aam_switch"), rounds=1, iterations=1
+    )
+    assert set(table.algorithms()) == {"AAM", "LGF-only", "LRF-only", "LAF"}
+    assert table.completion_rate() == 1.0
+    # The hybrid should not be beaten by both of its components at once
+    # (averaged over the sweep).
+    means = {
+        name: sum(v for _, v in series) / len(series)
+        for name, series in table.mean_series("max_latency").items()
+    }
+    assert means["AAM"] <= max(means["LGF-only"], means["LRF-only"]) * 1.05

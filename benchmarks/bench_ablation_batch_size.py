@@ -1,0 +1,21 @@
+"""Ablation: MCF-LTC batch-size multiplier (Sec. V-B1 discussion).
+
+The paper observes that MCF-LTC's effectiveness is affected by its batch
+size — with very large batches the flow may pick accurate workers with large
+arrival indices, inflating the latency.  This ablation sweeps a multiplier on
+the paper's batch size and regenerates the latency/runtime series for
+MCF-LTC alone.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="ablation_batch_size")
+def test_regenerate_ablation_batch_size(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("ablation_batch_size"), rounds=1, iterations=1
+    )
+    assert set(table.algorithms()) == {"MCF-LTC"}
+    assert table.completion_rate() == 1.0
+    # Larger batches must never reduce the number of MCF iterations below 1.
+    assert all(record.extra.get("batches", 1) >= 1 for record in table.records)

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 3c/3g/3k of the paper: latency / runtime / memory vs the mean historical accuracy (normal).
+
+The benchmark times the full regeneration (workload generation plus all five
+algorithms across the sweep) and writes the rendered series to
+``benchmarks/results/fig3_accuracy_normal.txt``.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig3_accuracy_normal")
+def test_regenerate_fig3_accuracy_normal(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("fig3_accuracy_normal"), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    assert table.completion_rate() == 1.0

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 3d/3h/3l of the paper: latency / runtime / memory vs the mean historical accuracy (uniform).
+
+The benchmark times the full regeneration (workload generation plus all five
+algorithms across the sweep) and writes the rendered series to
+``benchmarks/results/fig3_accuracy_uniform.txt``.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig3_accuracy_uniform")
+def test_regenerate_fig3_accuracy_uniform(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("fig3_accuracy_uniform"), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    assert table.completion_rate() == 1.0

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 3b/3f/3j of the paper: latency / runtime / memory vs the worker capacity K.
+
+The benchmark times the full regeneration (workload generation plus all five
+algorithms across the sweep) and writes the rendered series to
+``benchmarks/results/fig3_capacity.txt``.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig3_capacity")
+def test_regenerate_fig3_capacity(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("fig3_capacity"), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    assert table.completion_rate() == 1.0

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 3a/3e/3i of the paper: latency / runtime / memory vs the number of tasks |T|.
+
+The benchmark times the full regeneration (workload generation plus all five
+algorithms across the sweep) and writes the rendered series to
+``benchmarks/results/fig3_tasks.txt``.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig3_tasks")
+def test_regenerate_fig3_tasks(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("fig3_tasks"), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    assert table.completion_rate() == 1.0

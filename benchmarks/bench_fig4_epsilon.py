@@ -1,0 +1,17 @@
+"""Regenerates Fig. 4a/4e/4i of the paper: latency / runtime / memory vs the tolerable error rate epsilon.
+
+The benchmark times the full regeneration (workload generation plus all five
+algorithms across the sweep) and writes the rendered series to
+``benchmarks/results/fig4_epsilon.txt``.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig4_epsilon")
+def test_regenerate_fig4_epsilon(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("fig4_epsilon"), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    assert table.completion_rate() == 1.0

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 4c/4g/4k of the paper: latency / runtime / memory vs the New York check-in stream.
+
+The benchmark times the full regeneration (workload generation plus all five
+algorithms across the sweep) and writes the rendered series to
+``benchmarks/results/fig4_newyork.txt``.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig4_newyork")
+def test_regenerate_fig4_newyork(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("fig4_newyork"), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    assert table.completion_rate() == 1.0

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 4b/4f/4j of the paper: latency / runtime / memory vs very large task sets (scalability).
+
+The benchmark times the full regeneration (workload generation plus all five
+algorithms across the sweep) and writes the rendered series to
+``benchmarks/results/fig4_scalability.txt``.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig4_scalability")
+def test_regenerate_fig4_scalability(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("fig4_scalability"), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    assert table.completion_rate() == 1.0

@@ -1,0 +1,17 @@
+"""Regenerates Fig. 4d/4h/4l of the paper: latency / runtime / memory vs the Tokyo check-in stream.
+
+The benchmark times the full regeneration (workload generation plus all five
+algorithms across the sweep) and writes the rendered series to
+``benchmarks/results/fig4_tokyo.txt``.
+"""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig4_tokyo")
+def test_regenerate_fig4_tokyo(benchmark, figure_runner):
+    table = benchmark.pedantic(
+        lambda: figure_runner("fig4_tokyo"), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    assert table.completion_rate() == 1.0

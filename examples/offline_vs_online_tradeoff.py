@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Offline vs online: what does acting on partial information cost?
+
+The LTC problem is solved in two regimes: offline (the platform knows every
+future check-in) and online (assignments are made the moment a worker
+appears).  This example quantifies the gap on the same workloads across the
+tolerable-error-rate sweep of Fig. 4a, and relates both to the Theorem 2
+lower bound.
+
+Run with::
+
+    python examples/offline_vs_online_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import SyntheticConfig, generate_synthetic_instance, get_solver
+from repro.algorithms.bounds import latency_lower_bound
+
+ERROR_RATES = [0.06, 0.10, 0.14, 0.18, 0.22]
+ALGORITHMS = ["MCF-LTC", "Base-off", "AAM", "LAF", "Random"]
+
+
+def main() -> None:
+    print("Latency (max worker index) for varying tolerable error rate epsilon")
+    header = f"{'epsilon':>8s} {'bound':>7s} " + " ".join(f"{name:>9s}" for name in ALGORITHMS)
+    print(header)
+    print("-" * len(header))
+
+    for error_rate in ERROR_RATES:
+        config = SyntheticConfig(
+            num_tasks=60,
+            num_workers=900,
+            capacity=6,
+            error_rate=error_rate,
+            grid_size=140.0,
+            seed=42,
+            # Keep the task/worker placement identical across the sweep so
+            # only the quality threshold changes (as in the paper's Fig. 4a).
+            min_eligible_workers=19,
+        )
+        instance = generate_synthetic_instance(config)
+        bound = latency_lower_bound(instance.num_tasks, instance.delta,
+                                    instance.capacity)
+        latencies = []
+        for name in ALGORITHMS:
+            result = get_solver(name).solve(instance)
+            latencies.append(result.max_latency if result.completed else -1)
+        row = f"{error_rate:8.2f} {bound:7.0f} " + " ".join(f"{latency:9d}" for latency in latencies)
+        print(row)
+
+    print("\nReading the table:")
+    print(" * every algorithm needs fewer workers as epsilon grows (delta shrinks);")
+    print(" * the offline algorithms (MCF-LTC, Base-off) exploit their knowledge of")
+    print("   future arrivals and sit closest to the lower bound;")
+    print(" * AAM is the strongest online algorithm, and the naive Random baseline")
+    print("   pays for ignoring task completion state.")
+
+
+if __name__ == "__main__":
+    main()

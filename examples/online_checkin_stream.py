@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Online task completion over a Foursquare-like check-in stream.
+
+Builds a scaled-down New-York-like check-in stream (Table V substitution),
+then drives the online algorithms arrival by arrival through the
+:class:`~repro.simulation.engine.OnlineSimulation` engine.  The per-arrival
+event log is used to show how task completion progresses over the stream and
+where the algorithms start to differ.
+
+Run with::
+
+    python examples/online_checkin_stream.py
+"""
+
+from __future__ import annotations
+
+from repro import NEW_YORK, OnlineSimulation, generate_checkin_instance, get_solver
+
+
+def progress_milestones(outcome, total_tasks: int) -> dict[int, int]:
+    """Arrival index at which 25/50/75/100% of the tasks were complete."""
+    milestones = {}
+    completed = 0
+    targets = {25: None, 50: None, 75: None, 100: None}
+    for event in outcome.events:
+        completed += len(event.newly_completed_tasks)
+        percentage = 100 * completed / total_tasks
+        for target in targets:
+            if targets[target] is None and percentage >= target:
+                targets[target] = event.worker_index
+    return {target: index for target, index in targets.items() if index is not None}
+
+
+def main() -> None:
+    # 2% of the real New York cardinalities; the stream keeps the city's
+    # skewed neighbourhood popularity and chronological arrival order.
+    config = NEW_YORK.scaled(0.02)
+    instance = generate_checkin_instance(config)
+    print(f"Check-in stream: {instance.num_tasks} POI tasks, "
+          f"{instance.num_workers} check-ins, epsilon = {instance.error_rate}\n")
+
+    for name in ("LAF", "AAM", "Random"):
+        solver = get_solver(name)
+        outcome = OnlineSimulation(solver).run(instance)
+        result = outcome.result
+        milestones = progress_milestones(outcome, instance.num_tasks)
+        print(f"{name:7s} latency = {result.max_latency:6d}   "
+              f"arrivals used = {result.workers_used:5d} / {outcome.workers_arrived}")
+        print(f"{'':7s} completion milestones (arrival index): "
+              + ", ".join(f"{pct}% @ {index}" for pct, index in milestones.items()))
+        skipped = outcome.workers_skipped
+        print(f"{'':7s} arrivals that received no question: {skipped}\n")
+
+    print("AAM finishes the tail of hard (worker-starved) neighbourhoods")
+    print("earlier because it switches to Largest-Remaining-First once those")
+    print("tasks become the bottleneck; the naive Random baseline keeps")
+    print("wasting capacity on questions that are already answered.")
+
+
+if __name__ == "__main__":
+    main()

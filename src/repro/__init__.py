@@ -1,0 +1,134 @@
+"""Latency-oriented Task Completion (LTC) via Spatial Crowdsourcing.
+
+A full reproduction of Zeng, Tong, Chen, Zhou — "Latency-oriented Task
+Completion via Spatial Crowdsourcing", ICDE 2018.
+
+The public API re-exported here covers the common workflow:
+
+>>> from repro import SyntheticConfig, generate_synthetic_instance, get_solver
+>>> instance = generate_synthetic_instance(SyntheticConfig(
+...     num_tasks=30, num_workers=600, grid_size=150, seed=7))
+>>> result = get_solver("AAM").solve(instance)
+>>> result.completed, result.max_latency  # doctest: +SKIP
+(True, 213)
+
+Sub-packages:
+
+* ``repro.core`` — tasks, workers, accuracy functions, arrangements,
+  offline/online problem instances.
+* ``repro.algorithms`` — MCF-LTC, LAF, AAM, the paper's baselines, bounds.
+* ``repro.flow`` / ``repro.geo`` / ``repro.structures`` — the substrates
+  (min-cost flow, computational geometry, heaps).
+* ``repro.quality`` — weighted majority voting and the Hoeffding guarantee.
+* ``repro.datagen`` — synthetic (Table IV) and Foursquare-like (Table V)
+  workload generators.
+* ``repro.simulation`` / ``repro.experiments`` — measurement harness and the
+  per-figure experiment definitions.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    Arrangement,
+    Assignment,
+    CandidateFinder,
+    LTCInstance,
+    SigmoidDistanceAccuracy,
+    Task,
+    Worker,
+    WorkerStream,
+    quality_threshold,
+)
+from repro.algorithms import (
+    AAMSolver,
+    BaseOffSolver,
+    ExactSolver,
+    LAFSolver,
+    MCFLTCSolver,
+    RandomOnlineSolver,
+    SolveResult,
+    available_solvers,
+    get_solver,
+    latency_lower_bound,
+    latency_upper_bound,
+)
+from repro.datagen import (
+    CheckinCityConfig,
+    NEW_YORK,
+    TOKYO,
+    NormalAccuracy,
+    SyntheticConfig,
+    UniformAccuracy,
+    generate_checkin_instance,
+    generate_synthetic_instance,
+)
+from repro.simulation import (
+    ExperimentRunner,
+    OnlineSimulation,
+    ResultTable,
+    measure_solver,
+)
+from repro.experiments import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+    render_table,
+    write_series_csv,
+    export_json,
+)
+from repro.analysis import (
+    compute_instance_stats,
+    empirical_ratio_to_lower_bound,
+    empirical_ratios_vs_exact,
+)
+
+__all__ = [
+    "__version__",
+    # core
+    "Task",
+    "Worker",
+    "LTCInstance",
+    "WorkerStream",
+    "Arrangement",
+    "Assignment",
+    "CandidateFinder",
+    "SigmoidDistanceAccuracy",
+    "quality_threshold",
+    # algorithms
+    "SolveResult",
+    "MCFLTCSolver",
+    "LAFSolver",
+    "AAMSolver",
+    "BaseOffSolver",
+    "RandomOnlineSolver",
+    "ExactSolver",
+    "get_solver",
+    "available_solvers",
+    "latency_lower_bound",
+    "latency_upper_bound",
+    # data generation
+    "SyntheticConfig",
+    "generate_synthetic_instance",
+    "CheckinCityConfig",
+    "generate_checkin_instance",
+    "NEW_YORK",
+    "TOKYO",
+    "NormalAccuracy",
+    "UniformAccuracy",
+    # simulation & experiments
+    "measure_solver",
+    "OnlineSimulation",
+    "ExperimentRunner",
+    "ResultTable",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "render_table",
+    "write_series_csv",
+    "export_json",
+    # analysis
+    "compute_instance_stats",
+    "empirical_ratio_to_lower_bound",
+    "empirical_ratios_vs_exact",
+]

@@ -1,0 +1,151 @@
+"""Average And Max (AAM) — Algorithm 3.
+
+AAM is the paper's hybrid online greedy with a 7.738 competitive ratio.  For
+each arriving worker it compares two quantities over the uncompleted tasks:
+
+* ``avg`` — the remaining ``Acc*`` work divided by the capacity ``K``
+  (a proxy for the *average* number of extra workers needed), and
+* ``maxRemain`` — the largest remaining ``Acc*`` of any single task
+  (a proxy for the *bottleneck* task).
+
+While ``avg >= maxRemain`` the sheer number of tasks is the bottleneck and
+AAM uses the **Largest Gain First (LGF)** strategy, scoring a candidate task
+by ``min(Acc*(w, t), delta - S[t])`` so that highly accurate workers are not
+wasted on tasks that only need a small top-up.  Once ``avg < maxRemain`` the
+hardest tasks dominate the completion time and AAM switches to **Largest
+Remaining First (LRF)**, scoring tasks by ``delta - S[t]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.algorithms.base import OnlineSolver
+from repro.core.arrangement import Arrangement, Assignment
+from repro.core.candidates import CandidateFinder
+from repro.core.instance import LTCInstance
+from repro.core.worker import Worker
+from repro.structures.topk import TopKHeap
+
+
+class AAMSolver(OnlineSolver):
+    """Average And Max online solver (paper Algorithm 3)."""
+
+    name = "AAM"
+
+    def __init__(self, use_spatial_index: bool = True) -> None:
+        self._use_spatial_index = use_spatial_index
+        self._instance: Optional[LTCInstance] = None
+        self._arrangement: Optional[Arrangement] = None
+        self._candidates: Optional[CandidateFinder] = None
+        self._lgf_rounds = 0
+        self._lrf_rounds = 0
+
+    # --------------------------------------------------------------- protocol
+
+    def start(self, instance: LTCInstance) -> None:
+        self._instance = instance
+        self._arrangement = instance.new_arrangement()
+        self._candidates = CandidateFinder(
+            instance, use_spatial_index=self._use_spatial_index
+        )
+        self._lgf_rounds = 0
+        self._lrf_rounds = 0
+
+    @property
+    def arrangement(self) -> Arrangement:
+        if self._arrangement is None:
+            raise RuntimeError("start() must be called before reading the arrangement")
+        return self._arrangement
+
+    def observe(self, worker: Worker) -> List[Assignment]:
+        """Assign up to K tasks to ``worker`` using the LGF/LRF hybrid rule."""
+        if self._instance is None or self._arrangement is None or self._candidates is None:
+            raise RuntimeError("start() must be called before observe()")
+        arrangement = self._arrangement
+        instance = self._instance
+        delta = arrangement.delta
+
+        # "Average" work left per capacity unit vs. the single worst task.
+        remaining = [
+            arrangement.remaining_of(task.task_id)
+            for task in instance.tasks
+            if not arrangement.is_task_complete(task.task_id)
+        ]
+        if not remaining:
+            return []
+        avg = sum(remaining) / instance.capacity
+        max_remain = max(remaining)
+        use_lgf = avg >= max_remain
+        if use_lgf:
+            self._lgf_rounds += 1
+        else:
+            self._lrf_rounds += 1
+
+        heap: TopKHeap = TopKHeap(worker.capacity)
+        for task in self._candidates.candidates(worker):
+            if arrangement.is_task_complete(task.task_id):
+                continue
+            need = delta - arrangement.accumulated_of(task.task_id)
+            if use_lgf:
+                score = min(instance.acc_star(worker, task), need)
+            else:
+                score = need
+            heap.push(score, task)
+
+        assignments: List[Assignment] = []
+        for _, task in heap.pop_all():
+            assignments.append(arrangement.assign(worker, task))
+        return assignments
+
+    def diagnostics(self) -> Dict[str, float]:
+        return {
+            "lgf_rounds": float(self._lgf_rounds),
+            "lrf_rounds": float(self._lrf_rounds),
+        }
+
+
+class LGFOnlySolver(AAMSolver):
+    """Ablation variant of AAM that always uses the Largest Gain First rule.
+
+    Not part of the paper's algorithm set; used by the ablation benchmark to
+    quantify how much the LGF/LRF switch contributes.
+    """
+
+    name = "LGF-only"
+
+    def observe(self, worker: Worker) -> List[Assignment]:
+        arrangement = self.arrangement
+        instance = self._instance
+        candidates = self._candidates
+        assert instance is not None and candidates is not None
+        delta = arrangement.delta
+        self._lgf_rounds += 1
+
+        heap: TopKHeap = TopKHeap(worker.capacity)
+        for task in candidates.candidates(worker):
+            if arrangement.is_task_complete(task.task_id):
+                continue
+            need = delta - arrangement.accumulated_of(task.task_id)
+            heap.push(min(instance.acc_star(worker, task), need), task)
+        return [arrangement.assign(worker, task) for _, task in heap.pop_all()]
+
+
+class LRFOnlySolver(AAMSolver):
+    """Ablation variant of AAM that always uses the Largest Remaining First rule."""
+
+    name = "LRF-only"
+
+    def observe(self, worker: Worker) -> List[Assignment]:
+        arrangement = self.arrangement
+        candidates = self._candidates
+        assert candidates is not None
+        delta = arrangement.delta
+        self._lrf_rounds += 1
+
+        heap: TopKHeap = TopKHeap(worker.capacity)
+        for task in candidates.candidates(worker):
+            if arrangement.is_task_complete(task.task_id):
+                continue
+            heap.push(delta - arrangement.accumulated_of(task.task_id), task)
+        return [arrangement.assign(worker, task) for _, task in heap.pop_all()]

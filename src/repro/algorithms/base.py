@@ -1,0 +1,163 @@
+"""Solver interfaces and the common result type.
+
+Two solver families mirror the paper's two scenarios:
+
+* **Offline** solvers see the whole :class:`~repro.core.instance.LTCInstance`
+  (tasks *and* the full worker sequence) and may plan globally.
+* **Online** solvers see the tasks up front but receive workers one at a time
+  through :meth:`OnlineSolver.observe`; every assignment they emit is final.
+  The default :meth:`OnlineSolver.solve` drives the solver from a
+  :class:`~repro.core.stream.WorkerStream`, stopping as soon as every task is
+  complete (the arrival index of that last useful worker is the latency).
+
+Both return a :class:`SolveResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.arrangement import Arrangement, Assignment
+from repro.core.instance import LTCInstance
+from repro.core.stream import WorkerStream
+from repro.core.worker import Worker
+
+
+@dataclass
+class SolveResult:
+    """Outcome of running a solver on an instance.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the solver that produced the result.
+    arrangement:
+        The final arrangement (owns the per-task ``Acc*`` accumulations).
+    completed:
+        Whether every task reached the quality threshold.
+    max_latency:
+        ``MinMax(M)``: the largest arrival index among workers used by the
+        arrangement.  This is the paper's effectiveness metric.
+    workers_observed:
+        How many workers arrived before the solver stopped (for online
+        solvers this equals the latency when the instance completes).
+    extra:
+        Solver-specific diagnostics (batch count for MCF-LTC, strategy
+        switches for AAM, ...).
+    """
+
+    algorithm: str
+    arrangement: Arrangement
+    completed: bool
+    max_latency: int
+    workers_observed: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_assignments(self) -> int:
+        """Total number of (worker, task) assignments made."""
+        return len(self.arrangement)
+
+    @property
+    def workers_used(self) -> int:
+        """Number of distinct workers that received at least one task."""
+        return len({assignment.worker_index for assignment in self.arrangement})
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for experiment reports."""
+        data = {
+            "max_latency": float(self.max_latency),
+            "completed": float(self.completed),
+            "workers_observed": float(self.workers_observed),
+            "workers_used": float(self.workers_used),
+            "assignments": float(self.num_assignments),
+        }
+        data.update(self.extra)
+        return data
+
+
+class Solver(abc.ABC):
+    """Common base class for offline and online solvers."""
+
+    #: Registry name; subclasses override.
+    name: str = "solver"
+
+    #: True for solvers that obey the online temporal constraint.
+    is_online: bool = False
+
+    @abc.abstractmethod
+    def solve(self, instance: LTCInstance) -> SolveResult:
+        """Solve the instance and return the resulting arrangement."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class OfflineSolver(Solver):
+    """A solver that may inspect the full worker sequence before deciding."""
+
+    is_online = False
+
+
+class OnlineSolver(Solver):
+    """A solver that commits assignments as each worker arrives.
+
+    Subclasses implement :meth:`start` and :meth:`observe`; the base class
+    provides the stream-driving :meth:`solve`.
+    """
+
+    is_online = True
+
+    @abc.abstractmethod
+    def start(self, instance: LTCInstance) -> None:
+        """Reset internal state for a new instance (tasks are now visible)."""
+
+    @abc.abstractmethod
+    def observe(self, worker: Worker) -> List[Assignment]:
+        """Handle one arriving worker and return the assignments made for it."""
+
+    @property
+    @abc.abstractmethod
+    def arrangement(self) -> Arrangement:
+        """The arrangement built so far."""
+
+    def is_complete(self) -> bool:
+        """Whether every task has reached the quality threshold."""
+        return self.arrangement.is_complete()
+
+    def solve(
+        self,
+        instance: LTCInstance,
+        stream: Optional[WorkerStream] = None,
+    ) -> SolveResult:
+        """Drive the solver over a worker stream until completion.
+
+        Stops at the first worker after which all tasks are complete, or when
+        the stream is exhausted.  A custom ``stream`` can be supplied (e.g. by
+        the simulation engine); by default the instance's workers are streamed
+        in arrival order.
+        """
+        self.start(instance)
+        if stream is None:
+            stream = WorkerStream(instance.workers)
+        observed = 0
+        for worker in stream:
+            observed += 1
+            self.observe(worker)
+            if self.is_complete():
+                break
+        arrangement = self.arrangement
+        return SolveResult(
+            algorithm=self.name,
+            arrangement=arrangement,
+            completed=arrangement.is_complete(),
+            max_latency=arrangement.max_latency,
+            workers_observed=observed,
+            extra=self.diagnostics(),
+        )
+
+    def diagnostics(self) -> Dict[str, float]:
+        """Solver-specific counters included in the result (override freely)."""
+        return {}

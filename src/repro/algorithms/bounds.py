@@ -1,0 +1,137 @@
+"""Latency bounds (Theorem 2) and McNaughton-style scheduling.
+
+Theorem 2 of the paper bounds the optimal maximum latency of an offline LTC
+instance, assuming |T| >= K and every assignable pair has Acc* in
+[0.1, 1]:
+
+    lower bound:  |T| * delta / K
+    upper bound:  10 * |T| * delta / K + |T| / K + 1
+
+The proof relies on McNaughton's rule: when every worker is equally accurate
+on every task (Acc* = r for all pairs), an optimal arrangement uses
+max(ceil(|T| * ceil(delta / r) / K), ceil(delta / r)) workers and can be
+built greedily by "wrapping" tasks across workers.  Both the bounds and the
+constructive schedule are exposed here; MCF-LTC uses the lower bound as its
+batch size and the test-suite uses the schedule to validate the bound
+formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.core.instance import LTCInstance
+from repro.core.quality_threshold import MIN_ACC_STAR, quality_threshold
+
+
+def latency_lower_bound(num_tasks: int, delta: float, capacity: int) -> float:
+    """Theorem 2's lower bound ``|T| * delta / K`` on the optimal latency."""
+    _check_bound_args(num_tasks, delta, capacity)
+    return num_tasks * delta / capacity
+
+
+def latency_upper_bound(
+    num_tasks: int,
+    delta: float,
+    capacity: int,
+    min_acc_star: float = MIN_ACC_STAR,
+) -> float:
+    """Theorem 2's upper bound on the optimal latency.
+
+    With the paper's default ``min_acc_star = 0.1`` this is
+    ``10 * |T| * delta / K + |T| / K + 1``; the general form replaces the
+    factor 10 by ``1 / min_acc_star``.
+    """
+    _check_bound_args(num_tasks, delta, capacity)
+    if not 0 < min_acc_star <= 1:
+        raise ValueError("min_acc_star must be in (0, 1]")
+    factor = 1.0 / min_acc_star
+    return factor * num_tasks * delta / capacity + num_tasks / capacity + 1.0
+
+
+def instance_bounds(instance: LTCInstance) -> Tuple[float, float]:
+    """Lower and upper latency bounds for a concrete instance."""
+    delta = instance.delta
+    return (
+        latency_lower_bound(instance.num_tasks, delta, instance.capacity),
+        latency_upper_bound(instance.num_tasks, delta, instance.capacity),
+    )
+
+
+def mcnaughton_latency(
+    num_tasks: int, delta: float, capacity: int, acc_star: float
+) -> int:
+    """Optimal latency when every pair has the same ``Acc* = acc_star``.
+
+    ``max(ceil(|T| * ceil(delta / acc_star) / K), ceil(delta / acc_star))``:
+    each task needs ``ceil(delta / acc_star)`` workers, a worker serves at
+    most ``K`` distinct tasks, and no worker may serve the same task twice.
+    """
+    _check_bound_args(num_tasks, delta, capacity)
+    if not 0 < acc_star <= 1:
+        raise ValueError("acc_star must be in (0, 1]")
+    per_task = math.ceil(delta / acc_star)
+    return max(math.ceil(num_tasks * per_task / capacity), per_task)
+
+
+def mcnaughton_schedule(
+    num_tasks: int, delta: float, capacity: int, acc_star: float
+) -> Dict[int, List[int]]:
+    """A concrete optimal arrangement for the uniform-accuracy case.
+
+    Returns a mapping ``worker_index -> [task_id, ...]`` using exactly
+    :func:`mcnaughton_latency` workers.  Tasks are identified ``0..|T|-1``.
+    The schedule fills workers round-robin ("wrapping" as in McNaughton's
+    rule for identical machines) so that no worker repeats a task and no
+    worker exceeds ``capacity``.
+    """
+    per_task = math.ceil(delta / acc_star)
+    total_units = num_tasks * per_task
+    num_workers = mcnaughton_latency(num_tasks, delta, capacity, acc_star)
+
+    schedule: Dict[int, List[int]] = {index: [] for index in range(1, num_workers + 1)}
+    # Hand out the j-th copy of every task before the (j+1)-th copy; walking
+    # workers cyclically guarantees the same worker never sees a task twice
+    # because a full cycle over the workers covers >= num_tasks slots.
+    worker_cursor = 0
+    for copy in range(per_task):
+        for task_id in range(num_tasks):
+            assigned = False
+            attempts = 0
+            while not attempts or attempts <= num_workers:
+                worker_index = (worker_cursor % num_workers) + 1
+                worker_cursor += 1
+                attempts += 1
+                tasks_of_worker = schedule[worker_index]
+                if len(tasks_of_worker) < capacity and task_id not in tasks_of_worker:
+                    tasks_of_worker.append(task_id)
+                    assigned = True
+                    break
+            if not assigned:
+                raise RuntimeError(
+                    "McNaughton schedule construction failed; "
+                    f"copy {copy}, task {task_id}"
+                )
+    assert sum(len(tasks) for tasks in schedule.values()) == total_units
+    return schedule
+
+
+def _check_bound_args(num_tasks: int, delta: float, capacity: int) -> None:
+    if num_tasks < 1:
+        raise ValueError("num_tasks must be >= 1")
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+
+
+def bounds_for_error_rate(
+    num_tasks: int, error_rate: float, capacity: int
+) -> Tuple[float, float]:
+    """Convenience wrapper: bounds expressed in terms of epsilon."""
+    delta = quality_threshold(error_rate)
+    return (
+        latency_lower_bound(num_tasks, delta, capacity),
+        latency_upper_bound(num_tasks, delta, capacity),
+    )

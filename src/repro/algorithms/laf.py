@@ -1,0 +1,70 @@
+"""Largest Acc First (LAF) — Algorithm 2.
+
+LAF is the simplest online greedy: when a worker arrives, assign them the
+(at most) K uncompleted eligible tasks with the largest ``Acc*``.  The paper
+proves a competitive ratio of 7.967 under the assumption
+``epsilon <= e^-1.5`` (delta >= 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.algorithms.base import OnlineSolver
+from repro.core.arrangement import Arrangement, Assignment
+from repro.core.candidates import CandidateFinder
+from repro.core.instance import LTCInstance
+from repro.core.worker import Worker
+from repro.structures.topk import TopKHeap
+
+
+class LAFSolver(OnlineSolver):
+    """Largest Acc First online solver (paper Algorithm 2)."""
+
+    name = "LAF"
+
+    def __init__(self, use_spatial_index: bool = True) -> None:
+        self._use_spatial_index = use_spatial_index
+        self._instance: Optional[LTCInstance] = None
+        self._arrangement: Optional[Arrangement] = None
+        self._candidates: Optional[CandidateFinder] = None
+        self._workers_with_assignments = 0
+
+    # --------------------------------------------------------------- protocol
+
+    def start(self, instance: LTCInstance) -> None:
+        self._instance = instance
+        self._arrangement = instance.new_arrangement()
+        self._candidates = CandidateFinder(
+            instance, use_spatial_index=self._use_spatial_index
+        )
+        self._workers_with_assignments = 0
+
+    @property
+    def arrangement(self) -> Arrangement:
+        if self._arrangement is None:
+            raise RuntimeError("start() must be called before reading the arrangement")
+        return self._arrangement
+
+    def observe(self, worker: Worker) -> List[Assignment]:
+        """Assign the K largest-``Acc*`` uncompleted tasks to ``worker``."""
+        if self._instance is None or self._arrangement is None or self._candidates is None:
+            raise RuntimeError("start() must be called before observe()")
+        arrangement = self._arrangement
+        instance = self._instance
+
+        heap: TopKHeap = TopKHeap(worker.capacity)
+        for task in self._candidates.candidates(worker):
+            if arrangement.is_task_complete(task.task_id):
+                continue
+            heap.push(instance.acc_star(worker, task), task)
+
+        assignments: List[Assignment] = []
+        for _, task in heap.pop_all():
+            assignments.append(arrangement.assign(worker, task))
+        if assignments:
+            self._workers_with_assignments += 1
+        return assignments
+
+    def diagnostics(self) -> Dict[str, float]:
+        return {"workers_with_assignments": float(self._workers_with_assignments)}

@@ -1,0 +1,65 @@
+"""Registry of solvers keyed by the names used in the paper's figures.
+
+The experiment harness and benchmarks refer to solvers by name ("MCF-LTC",
+"Base-off", "Random", "LAF", "AAM"); this module maps those names to
+factories so configuration stays declarative.  Additional solvers (ablation
+variants, user extensions) can be registered at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.aam import AAMSolver, LGFOnlySolver, LRFOnlySolver
+from repro.algorithms.base import Solver
+from repro.algorithms.baselines import BaseOffSolver, RandomOnlineSolver
+from repro.algorithms.exact import ExactSolver
+from repro.algorithms.laf import LAFSolver
+from repro.algorithms.mcf_ltc import MCFLTCSolver
+
+SolverFactory = Callable[[], Solver]
+
+#: The five algorithms compared throughout the paper's evaluation, in the
+#: order the figures list them.
+DEFAULT_SOLVER_NAMES: List[str] = ["Base-off", "MCF-LTC", "Random", "LAF", "AAM"]
+
+_REGISTRY: Dict[str, SolverFactory] = {}
+
+
+def register_solver(name: str, factory: SolverFactory, overwrite: bool = False) -> None:
+    """Register a solver factory under ``name``.
+
+    Raises ``ValueError`` when the name is taken and ``overwrite`` is false.
+    """
+    if not overwrite and name in _REGISTRY:
+        raise ValueError(f"solver name {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def get_solver(name: str) -> Solver:
+    """Instantiate the solver registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown solver {name!r}; known solvers: {known}") from None
+    return factory()
+
+
+def available_solvers() -> List[str]:
+    """Names of all registered solvers, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    register_solver("MCF-LTC", MCFLTCSolver)
+    register_solver("Base-off", BaseOffSolver)
+    register_solver("Random", RandomOnlineSolver)
+    register_solver("LAF", LAFSolver)
+    register_solver("AAM", AAMSolver)
+    register_solver("Exact", ExactSolver)
+    register_solver("LGF-only", LGFOnlySolver)
+    register_solver("LRF-only", LRFOnlySolver)
+
+
+_register_builtins()

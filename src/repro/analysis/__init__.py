@@ -1,0 +1,29 @@
+"""Analysis utilities layered on top of the core library.
+
+Two groups of helpers live here:
+
+* :mod:`repro.analysis.instance_stats` — descriptive statistics of an LTC
+  instance (eligible workers per task, candidate tasks per worker, contention
+  and feasibility margins).  These explain *why* an algorithm behaves the way
+  it does on a workload and are used by the examples and EXPERIMENTS.md
+  discussion.
+* :mod:`repro.analysis.ratios` — empirical approximation / competitive ratios
+  against the exact solver (tiny instances) or against the Theorem 2 lower
+  bound (any instance), supporting the paper's theoretical claims with
+  measurements.
+"""
+
+from repro.analysis.instance_stats import InstanceStats, compute_instance_stats
+from repro.analysis.ratios import (
+    RatioReport,
+    empirical_ratio_to_lower_bound,
+    empirical_ratios_vs_exact,
+)
+
+__all__ = [
+    "InstanceStats",
+    "compute_instance_stats",
+    "RatioReport",
+    "empirical_ratio_to_lower_bound",
+    "empirical_ratios_vs_exact",
+]

@@ -1,0 +1,148 @@
+"""Empirical approximation / competitive ratios.
+
+The paper proves worst-case factors (7.5 for MCF-LTC, 7.967 for LAF, 7.738
+for AAM).  This module measures the ratios actually achieved:
+
+* :func:`empirical_ratios_vs_exact` — on batches of tiny random instances
+  where the exact optimum is computable, the ratio of each heuristic's
+  latency to the optimum.
+* :func:`empirical_ratio_to_lower_bound` — on arbitrary instances, the ratio
+  to the Theorem 2 lower bound ``|T| * delta / K`` (an upper bound on the
+  true ratio, since the bound is itself a lower bound on the optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.base import Solver
+from repro.algorithms.bounds import latency_lower_bound
+from repro.algorithms.exact import ExactSolver
+from repro.algorithms.registry import get_solver
+from repro.core.accuracy import TabularAccuracy
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.datagen.rng import generator_for
+from repro.geo.point import Point
+from repro.structures.stats import RunningStats
+
+#: The worst-case factors proven in the paper, by registry name.
+PROVEN_FACTORS: Dict[str, float] = {
+    "MCF-LTC": 7.5,
+    "LAF": 7.967,
+    "AAM": 7.738,
+}
+
+
+@dataclass
+class RatioReport:
+    """Per-algorithm empirical ratio statistics."""
+
+    algorithm: str
+    ratios: RunningStats = field(default_factory=RunningStats)
+    instances_solved: int = 0
+    instances_skipped: int = 0
+
+    @property
+    def mean_ratio(self) -> float:
+        """Mean observed ratio (1.0 means always optimal)."""
+        return self.ratios.mean
+
+    @property
+    def worst_ratio(self) -> float:
+        """Worst observed ratio."""
+        return self.ratios.maximum if self.ratios.count else float("nan")
+
+    def within_proven_factor(self) -> bool:
+        """Whether every observed ratio respects the paper's proven factor."""
+        factor = PROVEN_FACTORS.get(self.algorithm)
+        if factor is None or not self.ratios.count:
+            return True
+        return self.worst_ratio <= factor + 1e-9
+
+
+def _random_tiny_instance(seed: int, num_tasks: int, num_workers: int,
+                          capacity: int, error_rate: float) -> LTCInstance:
+    """A tiny random tabular instance (all pairs eligible)."""
+    rng = generator_for(seed, "ratio-instances")
+    table = {
+        (worker_index, task_id): float(rng.uniform(0.8, 0.99))
+        for worker_index in range(1, num_workers + 1)
+        for task_id in range(num_tasks)
+    }
+    tasks = [Task(task_id=i, location=Point(float(i), 0.0)) for i in range(num_tasks)]
+    workers = [
+        Worker(index=i, location=Point(0.0, float(i)), accuracy=0.9, capacity=capacity)
+        for i in range(1, num_workers + 1)
+    ]
+    return LTCInstance(tasks=tasks, workers=workers, error_rate=error_rate,
+                       accuracy_model=TabularAccuracy(table))
+
+
+def empirical_ratios_vs_exact(
+    algorithms: Sequence[str] = ("MCF-LTC", "LAF", "AAM"),
+    num_instances: int = 20,
+    num_tasks: int = 2,
+    num_workers: int = 10,
+    capacity: int = 2,
+    error_rate: float = 0.2,
+    seed: int = 0,
+) -> Dict[str, RatioReport]:
+    """Measure latency ratios against the exact optimum on random instances.
+
+    Instances the exact solver cannot complete (infeasible) are skipped and
+    counted in ``instances_skipped``.  Keep the sizes tiny: the exact solver
+    is exponential.
+    """
+    exact = ExactSolver()
+    reports = {name: RatioReport(algorithm=name) for name in algorithms}
+
+    for index in range(num_instances):
+        instance = _random_tiny_instance(
+            seed + index, num_tasks, num_workers, capacity, error_rate
+        )
+        optimum = exact.solve(instance)
+        if not optimum.completed or optimum.max_latency == 0:
+            for report in reports.values():
+                report.instances_skipped += 1
+            continue
+        for name in algorithms:
+            result = get_solver(name).solve(instance)
+            report = reports[name]
+            if not result.completed:
+                report.instances_skipped += 1
+                continue
+            report.instances_solved += 1
+            report.ratios.add(result.max_latency / optimum.max_latency)
+    return reports
+
+
+def empirical_ratio_to_lower_bound(
+    solver: Solver | str,
+    instances: Sequence[LTCInstance],
+) -> RatioReport:
+    """Latency ratio against the Theorem 2 lower bound on given instances.
+
+    Because the bound understates the optimum, the reported ratios are upper
+    bounds on the true approximation ratios.
+    """
+    if isinstance(solver, str):
+        solver_name = solver
+        make_solver = lambda: get_solver(solver_name)  # noqa: E731
+    else:
+        solver_name = solver.name
+        make_solver = lambda: solver  # noqa: E731
+
+    report = RatioReport(algorithm=solver_name)
+    for instance in instances:
+        result = make_solver().solve(instance)
+        if not result.completed:
+            report.instances_skipped += 1
+            continue
+        bound = latency_lower_bound(instance.num_tasks, instance.delta,
+                                    instance.capacity)
+        report.instances_solved += 1
+        report.ratios.add(result.max_latency / max(bound, 1e-9))
+    return report

@@ -1,0 +1,61 @@
+"""Core LTC problem definitions.
+
+This package contains the direct translation of Section II of the paper:
+micro tasks, crowd workers, the predicted-accuracy function, the Hoeffding
+quality threshold delta = 2*ln(1/epsilon), arrangements with their three
+constraints (invariable, capacity, error-rate) and the offline/online problem
+instances.  The NP-hardness reduction gadget (Theorem 1) and the paper's
+running example (Tables I/II) are also provided, mostly for the test-suite.
+"""
+
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.core.accuracy import (
+    AccuracyModel,
+    SigmoidDistanceAccuracy,
+    ConstantAccuracy,
+    TabularAccuracy,
+    acc_star,
+)
+from repro.core.quality_threshold import (
+    quality_threshold,
+    error_rate_for_threshold,
+    MIN_WORKER_ACCURACY,
+    MIN_ACC_STAR,
+)
+from repro.core.arrangement import Arrangement, Assignment
+from repro.core.candidates import CandidateFinder, sigmoid_eligibility_radius
+from repro.core.instance import LTCInstance
+from repro.core.stream import WorkerStream
+from repro.core.exceptions import (
+    LTCError,
+    ConstraintViolation,
+    CapacityExceeded,
+    DuplicateAssignment,
+    InfeasibleInstanceError,
+)
+
+__all__ = [
+    "Task",
+    "Worker",
+    "AccuracyModel",
+    "SigmoidDistanceAccuracy",
+    "ConstantAccuracy",
+    "TabularAccuracy",
+    "acc_star",
+    "quality_threshold",
+    "error_rate_for_threshold",
+    "MIN_WORKER_ACCURACY",
+    "MIN_ACC_STAR",
+    "Arrangement",
+    "Assignment",
+    "CandidateFinder",
+    "sigmoid_eligibility_radius",
+    "LTCInstance",
+    "WorkerStream",
+    "LTCError",
+    "ConstraintViolation",
+    "CapacityExceeded",
+    "DuplicateAssignment",
+    "InfeasibleInstanceError",
+]

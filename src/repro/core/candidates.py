@@ -1,0 +1,126 @@
+"""Candidate (assignable) tasks for a worker.
+
+The paper's bound analysis assumes every *assigned* pair has a predicted
+accuracy of at least the spam threshold (``Acc(w, t) >= 0.66``), which makes
+``Acc*`` fall in ``[0.1, 1]`` (Theorem 2).  Under the default sigmoid
+accuracy function this is equivalent to a distance cut-off around ``d_max``,
+which is also how the evaluation section talks about "nearby" tasks for the
+``Base-off`` and ``Random`` baselines.
+
+The :class:`CandidateFinder` centralises this eligibility rule.  For the
+sigmoid model it converts the accuracy threshold into an eligibility radius
+and answers queries through a :class:`~repro.geo.grid_index.GridIndex`, which
+keeps the algorithms near-linear in practice; for arbitrary accuracy models
+it falls back to scanning all tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.accuracy import AccuracyModel, SigmoidDistanceAccuracy
+from repro.core.instance import LTCInstance
+from repro.core.quality_threshold import MIN_WORKER_ACCURACY
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.bbox import BoundingBox
+from repro.geo.grid_index import GridIndex
+
+
+def sigmoid_eligibility_radius(
+    historical_accuracy: float, d_max: float, min_accuracy: float
+) -> float:
+    """Largest distance at which the sigmoid accuracy stays above a threshold.
+
+    Solves ``p / (1 + exp(d - d_max)) >= min_accuracy`` for ``d``.  Returns a
+    negative number when the worker can never reach the threshold (i.e. no
+    task is eligible).
+    """
+    if min_accuracy <= 0:
+        return math.inf
+    ratio = historical_accuracy / min_accuracy - 1.0
+    if ratio <= 0:
+        return -1.0
+    return d_max + math.log(ratio)
+
+
+class CandidateFinder:
+    """Answers "which tasks may this worker be assigned?".
+
+    Parameters
+    ----------
+    instance:
+        The LTC instance whose tasks are indexed.
+    min_accuracy:
+        Minimum predicted accuracy for a pair to be assignable.  Defaults to
+        the instance's ``min_assignable_accuracy``.
+    use_spatial_index:
+        Build a grid index when the accuracy model is the sigmoid model.
+        Disable to force the exhaustive scan (useful in tests).
+    """
+
+    def __init__(
+        self,
+        instance: LTCInstance,
+        min_accuracy: Optional[float] = None,
+        use_spatial_index: bool = True,
+    ) -> None:
+        self._instance = instance
+        self._min_accuracy = (
+            instance.min_assignable_accuracy if min_accuracy is None else min_accuracy
+        )
+        self._model: AccuracyModel = instance.accuracy_model
+        self._grid: Optional[GridIndex[int]] = None
+        self._tasks_by_id: Dict[int, Task] = {
+            task.task_id: task for task in instance.tasks
+        }
+        if use_spatial_index and isinstance(self._model, SigmoidDistanceAccuracy):
+            self._grid = self._build_grid(instance.tasks, self._model.d_max)
+
+    @staticmethod
+    def _build_grid(tasks: Sequence[Task], d_max: float) -> GridIndex[int]:
+        bounds = BoundingBox.from_points(task.location for task in tasks)
+        # Give the border tasks a margin of one eligibility radius so queries
+        # from workers just outside the task extent still land in valid cells.
+        bounds = bounds.expanded(max(d_max, 1.0))
+        cell = max(d_max, 1.0)
+        grid: GridIndex[int] = GridIndex(bounds, cell)
+        for task in tasks:
+            grid.insert(task.task_id, task.location)
+        return grid
+
+    @property
+    def min_accuracy(self) -> float:
+        """The eligibility threshold on predicted accuracy."""
+        return self._min_accuracy
+
+    def is_eligible(self, worker: Worker, task: Task) -> bool:
+        """Whether ``worker`` may be assigned ``task``."""
+        return self._model.accuracy(worker, task) >= self._min_accuracy - 1e-12
+
+    def candidates(self, worker: Worker) -> List[Task]:
+        """All tasks the worker may be assigned, in ascending task-id order."""
+        if self._grid is not None and isinstance(self._model, SigmoidDistanceAccuracy):
+            radius = sigmoid_eligibility_radius(
+                worker.accuracy, self._model.d_max, self._min_accuracy
+            )
+            if radius < 0:
+                return []
+            nearby_ids = self._grid.query_radius(worker.location, radius)
+            tasks = [self._tasks_by_id[task_id] for task_id in sorted(nearby_ids)]
+        else:
+            tasks = self._instance.tasks
+        return [task for task in tasks if self.is_eligible(worker, task)]
+
+    def candidate_count_per_task(self) -> Dict[int, int]:
+        """For every task, the number of workers eligible to perform it.
+
+        Used by the ``Base-off`` baseline, which prioritises tasks with few
+        remaining nearby workers, and by feasibility diagnostics.
+        """
+        counts = {task.task_id: 0 for task in self._instance.tasks}
+        for worker in self._instance.workers:
+            for task in self.candidates(worker):
+                counts[task.task_id] += 1
+        return counts

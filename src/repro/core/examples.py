@@ -1,0 +1,105 @@
+"""The paper's running example (Fig. 1, Tables I/II, Examples 1-4).
+
+Three POI tasks (Think Cafe, Yee Shun Restaurant, SOGO Hong Kong) and eight
+workers arriving in order, with per-pair accuracies given by Table I, every
+worker willing to answer at most two questions, and (for Examples 2-4) a
+tolerable error rate of 0.2.  The example is used by tests to check the
+worked results in the paper: LAF needs 8 workers, AAM needs 7, MCF-LTC
+needs 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.accuracy import TabularAccuracy
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+
+#: Table I of the paper: historical accuracy of each worker on each task.
+#: Keys are (worker_index, task_id) with task ids 0..2 standing for t1..t3.
+TABLE_I: Dict[Tuple[int, int], float] = {
+    # t1 (Think Cafe)
+    (1, 0): 0.96, (2, 0): 0.98, (3, 0): 0.98, (4, 0): 0.98,
+    (5, 0): 0.96, (6, 0): 0.96, (7, 0): 0.94, (8, 0): 0.94,
+    # t2 (Yee Shun Restaurant)
+    (1, 1): 0.98, (2, 1): 0.96, (3, 1): 0.96, (4, 1): 0.98,
+    (5, 1): 0.94, (6, 1): 0.96, (7, 1): 0.96, (8, 1): 0.94,
+    # t3 (SOGO Hong Kong)
+    (1, 2): 0.96, (2, 2): 0.96, (3, 2): 0.96, (4, 2): 0.98,
+    (5, 2): 0.94, (6, 2): 0.94, (7, 2): 0.96, (8, 2): 0.96,
+}
+
+#: Capacity used throughout the example: each worker answers at most 2 tasks.
+EXAMPLE_CAPACITY = 2
+
+#: Tolerable error rate used in Examples 2-4 (delta = 2*ln(5) ~= 3.22).
+EXAMPLE_ERROR_RATE = 0.2
+
+#: Task names in the example, in task-id order.
+EXAMPLE_TASK_NAMES = ("Think Cafe", "Yee Shun Restaurant", "SOGO Hong Kong")
+
+
+def running_example_instance(
+    error_rate: float = EXAMPLE_ERROR_RATE,
+    capacity: int = EXAMPLE_CAPACITY,
+) -> LTCInstance:
+    """Build the paper's 3-task / 8-worker running example.
+
+    Locations are symbolic (the accuracy model reads Table I directly, so
+    distances do not matter); they are laid out on a small line to keep the
+    example printable.
+    """
+    tasks = [
+        Task(
+            task_id=i,
+            location=Point(float(10 * i), 0.0),
+            description=f"Question about {EXAMPLE_TASK_NAMES[i]}",
+        )
+        for i in range(3)
+    ]
+    workers = [
+        Worker(
+            index=i,
+            location=Point(float(i), 1.0),
+            accuracy=0.95,
+            capacity=capacity,
+        )
+        for i in range(1, 9)
+    ]
+    return LTCInstance(
+        tasks=tasks,
+        workers=workers,
+        error_rate=error_rate,
+        accuracy_model=TabularAccuracy(TABLE_I),
+        name="paper running example (Tables I/II)",
+    )
+
+
+#: Latencies the paper reports for the running example with epsilon = 0.2
+#: (Examples 2-4).
+PAPER_REPORTED_LATENCIES = {
+    "mcf_ltc": 6,   # Example 2
+    "laf": 8,       # Example 3
+    "aam": 7,       # Example 4
+}
+
+#: Latencies this implementation reproduces exactly.  LAF matches the paper.
+#: The other two differ from the prose of Examples 2 and 4 for reasons rooted
+#: in the paper's own text (documented in EXPERIMENTS.md, "Running example"):
+#:
+#: * MCF-LTC: the paper's Fig. 2b shows a flow using only workers 1-6, but
+#:   that flow is *not* cost-optimal for Table I — the true minimum-cost flow
+#:   (total Acc* 10.53 vs 10.46) necessarily uses worker 7 or 8, so a correct
+#:   SSPA returns latency 7 (with low-index tie-breaking).
+#: * AAM: Algorithm 3's avg/maxRemain rule switches to LRF already at the
+#:   third worker (avg = 3.06 < maxRemain = 3.22), whereas the Example 4
+#:   narrative keeps LGF for three workers; following the pseudo-code yields
+#:   latency 6, which equals the optimum found by the exact solver.
+EXPECTED_LATENCIES = {
+    "mcf_ltc": 7,
+    "laf": 8,
+    "aam": 6,
+}

@@ -1,0 +1,32 @@
+"""Exceptions for the LTC core."""
+
+
+class LTCError(Exception):
+    """Base class for all LTC-specific errors."""
+
+
+class ConstraintViolation(LTCError):
+    """An arrangement violates one of the LTC constraints."""
+
+
+class CapacityExceeded(ConstraintViolation):
+    """A worker was assigned more tasks than their capacity ``K``."""
+
+
+class DuplicateAssignment(ConstraintViolation):
+    """The same (worker, task) pair was assigned twice.
+
+    The paper's capacity constraint counts distinct tasks per worker; a worker
+    answering the same binary question twice adds no independent evidence, so
+    duplicate assignments are rejected outright.
+    """
+
+
+class InfeasibleInstanceError(LTCError):
+    """The available workers cannot complete every task.
+
+    The paper assumes "all tasks can reach the tolerable error rate"
+    (Sec. II-A); solvers raise this error when that assumption does not hold
+    for the instance they were given instead of silently returning a partial
+    arrangement.
+    """

@@ -1,0 +1,167 @@
+"""The NP-hardness reduction gadget (Theorem 1).
+
+Theorem 1 reduces 3-partition to the decision version of offline LTC: a list
+of ``3m`` integers summing to ``m * B`` (each strictly between ``B/4`` and
+``B/2``) becomes ``3m`` workers with ``Acc*(w_i, .) = x_i / B``, ``m`` tasks,
+``K = 1`` and ``delta = 1`` (i.e. ``epsilon = e^{-1/2}``).  The list can be
+partitioned into ``m`` triples each summing to ``B`` iff the LTC instance has
+a feasible arrangement using exactly the ``3m`` workers.
+
+This module builds such instances so the reduction can be exercised and
+verified by the test-suite, and provides a tiny exact 3-partition decider for
+cross-checking on small inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.accuracy import AccuracyModel
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+
+
+#: The tolerable error rate that makes delta = 2*ln(1/eps) equal exactly 1.
+REDUCTION_ERROR_RATE = math.exp(-0.5)
+
+
+class _ReductionAccuracy(AccuracyModel):
+    """Accuracy model of the reduction: Acc*(w_i, t) = x_i / B for every task.
+
+    ``Acc*`` is what the constraints consume, so the model exposes the
+    accuracy whose ``(2*Acc - 1)^2`` equals ``x_i / B``.
+    """
+
+    def __init__(self, ratios: Sequence[float]) -> None:
+        self._acc_by_index = {
+            index + 1: 0.5 * (1.0 + math.sqrt(ratio))
+            for index, ratio in enumerate(ratios)
+        }
+
+    def accuracy(self, worker: Worker, task: Task) -> float:
+        return self._acc_by_index[worker.index]
+
+
+@dataclass(frozen=True)
+class ThreePartitionInstance:
+    """A 3-partition instance: 3m positive integers summing to m*B."""
+
+    values: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) % 3 != 0 or not self.values:
+            raise ValueError("a 3-partition instance needs 3m values, m >= 1")
+        if any(value <= 0 for value in self.values):
+            raise ValueError("all values must be positive")
+        if sum(self.values) % self.m != 0:
+            raise ValueError("values must sum to a multiple of m")
+        bound = self.bin_size
+        for value in self.values:
+            if not bound / 4 < value < bound / 2:
+                raise ValueError(
+                    f"value {value} violates B/4 < x < B/2 for B = {bound}"
+                )
+
+    @property
+    def m(self) -> int:
+        """Number of triples."""
+        return len(self.values) // 3
+
+    @property
+    def bin_size(self) -> int:
+        """The target sum ``B`` of each triple."""
+        return sum(self.values) // self.m
+
+    def brute_force_partition(self) -> Optional[List[Tuple[int, int, int]]]:
+        """Exhaustively search for a valid partition (small instances only).
+
+        Returns the list of index triples, or ``None`` when no partition
+        exists.  Exponential — intended for cross-checking the reduction on
+        instances with m <= 4.
+        """
+        indices = list(range(len(self.values)))
+        target = self.bin_size
+
+        def search(remaining: List[int]) -> Optional[List[Tuple[int, int, int]]]:
+            if not remaining:
+                return []
+            first = remaining[0]
+            rest = remaining[1:]
+            for second, third in itertools.combinations(rest, 2):
+                if self.values[first] + self.values[second] + self.values[third] == target:
+                    next_remaining = [
+                        index for index in rest if index not in (second, third)
+                    ]
+                    solution = search(next_remaining)
+                    if solution is not None:
+                        return [(first, second, third)] + solution
+            return None
+
+        return search(indices)
+
+
+def ltc_instance_from_three_partition(
+    three_partition: ThreePartitionInstance,
+) -> LTCInstance:
+    """Build the offline LTC instance of Theorem 1's reduction.
+
+    The instance has ``m`` tasks, ``3m`` workers with capacity ``K = 1`` and
+    an accuracy model under which worker ``w_i`` contributes exactly
+    ``x_i / B`` of ``Acc*`` to any task.  A feasible arrangement that uses all
+    ``3m`` workers and completes all tasks corresponds exactly to a valid
+    3-partition.
+    """
+    bin_size = three_partition.bin_size
+    ratios = [value / bin_size for value in three_partition.values]
+    tasks = [Task(task_id=i, location=Point(float(i), 0.0)) for i in range(three_partition.m)]
+    workers = [
+        Worker(
+            index=i + 1,
+            location=Point(0.0, float(i)),
+            accuracy=0.9,
+            capacity=1,
+        )
+        for i in range(len(three_partition.values))
+    ]
+    return LTCInstance(
+        tasks=tasks,
+        workers=workers,
+        error_rate=REDUCTION_ERROR_RATE,
+        accuracy_model=_ReductionAccuracy(ratios),
+        name=f"3-partition reduction (m={three_partition.m}, B={bin_size})",
+    )
+
+
+def arrangement_encodes_partition(
+    instance: LTCInstance, assignments: Sequence[Tuple[int, int]]
+) -> Optional[List[Tuple[int, ...]]]:
+    """Decode an arrangement of the reduction instance back into triples.
+
+    ``assignments`` is a sequence of ``(worker_index, task_id)`` pairs.
+    Returns the worker-index triples grouped by task when the arrangement is
+    a valid encoding of a 3-partition (each worker used exactly once, each
+    task served by exactly three workers), otherwise ``None``.
+    """
+    by_task: dict[int, List[int]] = {task.task_id: [] for task in instance.tasks}
+    used: set[int] = set()
+    for worker_index, task_id in assignments:
+        if worker_index in used:
+            return None
+        used.add(worker_index)
+        if task_id not in by_task:
+            return None
+        by_task[task_id].append(worker_index)
+    if used != {worker.index for worker in instance.workers}:
+        return None
+    triples: List[Tuple[int, ...]] = []
+    for task_id in sorted(by_task):
+        members = tuple(sorted(by_task[task_id]))
+        if len(members) != 3:
+            return None
+        triples.append(members)
+    return triples

@@ -1,0 +1,49 @@
+"""Quality threshold derived from Hoeffding's inequality.
+
+Definition 4 of the paper aggregates worker answers by weighted majority
+voting with weights ``2*Acc(w, t) - 1``.  By Hoeffding's inequality, if
+
+    sum_{w in W_t} (2*Acc(w, t) - 1)^2  >=  2 * ln(1 / epsilon)
+
+then the probability that the vote is wrong is below ``epsilon``.  The
+right-hand side is the quality threshold ``delta`` used everywhere in the
+paper; this module computes it and its inverse.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Workers with historical accuracy below this value are treated as spam and
+#: ignored by the platform (Sec. II-A, assumption (i) on workers).
+MIN_WORKER_ACCURACY = 0.66
+
+#: Lower bound on Acc*(w, t) used by the paper's bound analysis:
+#: (2 * 0.66 - 1)^2 = 0.1024 > 0.1 (Theorem 2 uses the 0.1 floor).
+MIN_ACC_STAR = 0.1
+
+
+def quality_threshold(error_rate: float) -> float:
+    """The threshold ``delta = 2 * ln(1 / epsilon)`` for a tolerable error rate.
+
+    Parameters
+    ----------
+    error_rate:
+        The tolerable error rate ``epsilon`` in ``(0, 1)``.
+
+    Returns
+    -------
+    float
+        ``delta``; a task is completed once its accumulated ``Acc*`` reaches
+        this value.
+    """
+    if not 0.0 < error_rate < 1.0:
+        raise ValueError("error rate must be in the open interval (0, 1)")
+    return 2.0 * math.log(1.0 / error_rate)
+
+
+def error_rate_for_threshold(delta: float) -> float:
+    """The tolerable error rate implied by a threshold ``delta`` (inverse map)."""
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    return math.exp(-delta / 2.0)

@@ -1,0 +1,66 @@
+"""Online worker streams (Definition 7's temporal constraint).
+
+In the online scenario the platform learns about a worker only when s/he
+checks in, and must commit the assignment immediately.  A
+:class:`WorkerStream` enforces this protocol: online solvers pull workers one
+at a time and there is no way to look ahead or rewind.  The simulation engine
+drives solvers through this interface so that the separation between offline
+and online information is structural, not just conventional.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.worker import Worker
+
+
+class WorkerStream:
+    """A forward-only stream of workers in arrival order."""
+
+    def __init__(self, workers: Iterable[Worker]) -> None:
+        self._workers: List[Worker] = list(workers)
+        expected = list(range(1, len(self._workers) + 1))
+        if [worker.index for worker in self._workers] != expected:
+            raise ValueError(
+                "workers must be supplied in arrival order with consecutive "
+                "indices starting at 1"
+            )
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def consumed(self) -> int:
+        """How many workers have been observed so far."""
+        return self._cursor
+
+    @property
+    def remaining(self) -> int:
+        """How many workers have not yet arrived."""
+        return len(self._workers) - self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every worker has already arrived."""
+        return self._cursor >= len(self._workers)
+
+    def next_worker(self) -> Optional[Worker]:
+        """The next arriving worker, or ``None`` when the stream is exhausted."""
+        if self.exhausted:
+            return None
+        worker = self._workers[self._cursor]
+        self._cursor += 1
+        return worker
+
+    def __iter__(self) -> Iterator[Worker]:
+        while True:
+            worker = self.next_worker()
+            if worker is None:
+                return
+            yield worker
+
+    def restart(self) -> "WorkerStream":
+        """A fresh stream over the same workers (for repeated experiments)."""
+        return WorkerStream(self._workers)

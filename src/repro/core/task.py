@@ -1,0 +1,71 @@
+"""Micro tasks (Definition 1).
+
+A micro task ``t = <l_t, epsilon>`` is a binary question pinned to a location
+with a maximum tolerable error rate.  In this library the tolerable error
+rate is carried by the :class:`~repro.core.instance.LTCInstance` (the paper
+assumes a single constant epsilon for all tasks), so the task itself stores
+its identity, its location and optional descriptive metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A binary micro task at a fixed location.
+
+    Attributes
+    ----------
+    task_id:
+        Dense integer identifier; also the index of the task in the
+        instance's task list.
+    location:
+        Where the task (POI) is located.
+    true_answer:
+        Ground-truth binary answer (+1 / -1).  Only used by the quality
+        substrate to *simulate* worker answers and verify the Hoeffding
+        bound empirically; the algorithms never look at it.
+    description:
+        Optional human-readable question text (e.g. "Does this place have
+        street parking?").
+    metadata:
+        Optional free-form attributes (POI category, city, ...).
+    """
+
+    task_id: int
+    location: Point
+    true_answer: int = 1
+    description: str = ""
+    # Excluded from equality/hashing: free-form annotations must not make two
+    # otherwise-identical tasks compare differently (and dicts are unhashable).
+    metadata: Mapping[str, object] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError("task_id must be non-negative")
+        if self.true_answer not in (-1, 1):
+            raise ValueError("true_answer must be +1 or -1")
+
+    def distance_to(self, location: Point) -> float:
+        """Euclidean distance from the task to ``location``."""
+        return self.location.distance_to(location)
+
+    def with_answer(self, true_answer: int) -> "Task":
+        """Return a copy of the task with a different ground-truth answer."""
+        return Task(
+            task_id=self.task_id,
+            location=self.location,
+            true_answer=true_answer,
+            description=self.description,
+            metadata=self.metadata,
+        )
+
+    @classmethod
+    def at(cls, task_id: int, x: float, y: float, **kwargs: object) -> "Task":
+        """Convenience constructor from raw coordinates."""
+        return cls(task_id=task_id, location=Point(float(x), float(y)), **kwargs)  # type: ignore[arg-type]

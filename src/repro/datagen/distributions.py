@@ -1,0 +1,75 @@
+"""Historical-accuracy distributions (Table IV).
+
+The paper draws worker historical accuracies either from a normal
+distribution (mu in 0.82..0.90, sigma = 0.05) or from a uniform distribution
+with the same mean.  Samples are clipped to the valid range
+``[MIN_WORKER_ACCURACY, 1]`` because workers below the spam threshold are
+filtered out by the platform before assignment.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quality_threshold import MIN_WORKER_ACCURACY
+
+
+class AccuracyDistribution(abc.ABC):
+    """Samples historical accuracies for generated workers."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` accuracies in ``[MIN_WORKER_ACCURACY, 1]``."""
+
+    @staticmethod
+    def _clip(values: np.ndarray) -> np.ndarray:
+        return np.clip(values, MIN_WORKER_ACCURACY, 1.0)
+
+
+@dataclass(frozen=True)
+class NormalAccuracy(AccuracyDistribution):
+    """Normal(mu, sigma) accuracies, clipped to the valid range."""
+
+    mean: float = 0.86
+    stddev: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not MIN_WORKER_ACCURACY <= self.mean <= 1.0:
+            raise ValueError(
+                f"mean must be in [{MIN_WORKER_ACCURACY}, 1], got {self.mean}"
+            )
+        if self.stddev <= 0:
+            raise ValueError("stddev must be positive")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._clip(rng.normal(self.mean, self.stddev, size=size))
+
+
+@dataclass(frozen=True)
+class UniformAccuracy(AccuracyDistribution):
+    """Uniform accuracies with a given mean.
+
+    The paper specifies uniform distributions only by their mean; we use the
+    symmetric interval ``[mean - half_width, mean + half_width]`` (clipped),
+    defaulting to the same spread as the normal setting (half_width = 0.08,
+    roughly +/- 1.6 sigma).
+    """
+
+    mean: float = 0.86
+    half_width: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not MIN_WORKER_ACCURACY <= self.mean <= 1.0:
+            raise ValueError(
+                f"mean must be in [{MIN_WORKER_ACCURACY}, 1], got {self.mean}"
+            )
+        if self.half_width <= 0:
+            raise ValueError("half_width must be positive")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        low = self.mean - self.half_width
+        high = self.mean + self.half_width
+        return self._clip(rng.uniform(low, high, size=size))

@@ -1,0 +1,36 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. V).
+
+Every figure column of the paper maps to one experiment definition in
+:mod:`repro.experiments.configs`; running it produces the latency, runtime
+and memory series of the corresponding three panels.  The harness renders
+these series as text tables (:mod:`repro.experiments.report`) and checks them
+against the qualitative expectations extracted from the paper
+(:mod:`repro.experiments.paper_reference`).
+"""
+
+from repro.experiments.configs import (
+    ExperimentDefinition,
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.harness import run_experiment
+from repro.experiments.report import render_table, render_series, render_summary
+from repro.experiments.export import export_json, write_records_csv, write_series_csv
+from repro.experiments.paper_reference import PAPER_EXPECTATIONS, PanelExpectation
+
+__all__ = [
+    "export_json",
+    "write_records_csv",
+    "write_series_csv",
+    "ExperimentDefinition",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "render_table",
+    "render_series",
+    "render_summary",
+    "PAPER_EXPECTATIONS",
+    "PanelExpectation",
+]

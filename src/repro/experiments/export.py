@@ -1,0 +1,85 @@
+"""Exporting experiment results to CSV and JSON.
+
+The text tables of :mod:`repro.experiments.report` are what EXPERIMENTS.md
+embeds; downstream analysis (plotting the figures, statistical comparison
+across runs) is easier from machine-readable files.  These helpers write the
+raw per-run records and the aggregated per-panel series.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+from repro.simulation.results import FIGURE_METRICS, ResultTable
+
+PathLike = Union[str, Path]
+
+
+def write_records_csv(table: ResultTable, path: PathLike) -> Path:
+    """Write one CSV row per individual measured run."""
+    path = Path(path)
+    rows = table.to_rows()
+    if not rows:
+        raise ValueError("cannot export an empty result table")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_series_csv(
+    table: ResultTable,
+    path: PathLike,
+    metrics: Sequence[str] = FIGURE_METRICS,
+) -> Path:
+    """Write the aggregated (mean) series, one row per (algorithm, sweep value)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = ["experiment_id", "algorithm", table.sweep_parameter] + list(metrics)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        series_by_metric = {metric: table.mean_series(metric) for metric in metrics}
+        for algorithm in table.algorithms():
+            for sweep_value in table.sweep_values():
+                row: Dict[str, object] = {
+                    "experiment_id": table.experiment_id,
+                    "algorithm": algorithm,
+                    table.sweep_parameter: sweep_value,
+                }
+                for metric in metrics:
+                    points = dict(series_by_metric[metric].get(algorithm, []))
+                    if sweep_value in points:
+                        row[metric] = points[sweep_value]
+                writer.writerow(row)
+    return path
+
+
+def export_json(
+    table: ResultTable,
+    path: PathLike,
+    metrics: Sequence[str] = FIGURE_METRICS,
+) -> Path:
+    """Write a JSON document with both the raw records and the mean series."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "experiment_id": table.experiment_id,
+        "sweep_parameter": table.sweep_parameter,
+        "records": table.to_rows(),
+        "series": {
+            metric: {
+                algorithm: [[value, mean] for value, mean in points]
+                for algorithm, points in table.mean_series(metric).items()
+            }
+            for metric in metrics
+        },
+        "completion_rate": table.completion_rate(),
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,68 @@
+"""Running experiments end-to-end.
+
+:func:`run_experiment` resolves an experiment id, builds its runner (applying
+any ablation-specific solver overrides) and returns the populated
+:class:`~repro.simulation.results.ResultTable`.  The CLI and the benchmark
+files are thin wrappers over this function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.algorithms.mcf_ltc import MCFLTCSolver
+from repro.experiments.configs import ExperimentDefinition, get_experiment
+from repro.simulation.results import ResultTable
+from repro.simulation.runner import ExperimentRunner
+
+
+def _apply_ablation_overrides(
+    definition: ExperimentDefinition, runner: ExperimentRunner
+) -> ExperimentRunner:
+    """Install per-experiment solver overrides (currently batch ablation)."""
+    if definition.experiment_id != "ablation_batch_size":
+        return runner
+
+    # The batch ablation runs MCF-LTC once per sweep value with the batch
+    # multiplier equal to that value.  The runner calls the factory per
+    # record, and the sweep value is not passed to factories, so we install a
+    # stateful override fed by a wrapped instance factory.
+    current_multiplier = {"value": 1.0}
+    original_factory = runner.instance_factory
+
+    def tracking_factory(sweep_value: float, repetition: int):
+        current_multiplier["value"] = float(sweep_value)
+        return original_factory(sweep_value, repetition)
+
+    runner.instance_factory = tracking_factory
+    runner.solver_overrides = {
+        "MCF-LTC": lambda: MCFLTCSolver(batch_multiplier=current_multiplier["value"]),
+    }
+    return runner
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: Optional[float] = None,
+    repetitions: Optional[int] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    sweep_values: Optional[Sequence[float]] = None,
+    track_memory: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ResultTable:
+    """Run one of the paper's experiments and return its result table.
+
+    Parameters mirror :meth:`ExperimentDefinition.build_runner`; leaving them
+    ``None`` uses the definition's scaled-down defaults.
+    """
+    definition = get_experiment(experiment_id)
+    runner = definition.build_runner(
+        scale=scale,
+        repetitions=repetitions,
+        algorithms=algorithms,
+        sweep_values=sweep_values,
+        track_memory=track_memory,
+        progress=progress,
+    )
+    runner = _apply_ablation_overrides(definition, runner)
+    return runner.run()

@@ -1,0 +1,75 @@
+"""Textual rendering of experiment results.
+
+The paper presents its evaluation as line plots; this module prints the same
+series as aligned text tables (one per metric, algorithms as rows, sweep
+values as columns), which is the form EXPERIMENTS.md and the benchmark output
+use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.simulation.results import FIGURE_METRICS, ResultTable
+
+#: Display units per metric.
+_METRIC_LABELS = {
+    "max_latency": "Max index of worker (latency)",
+    "runtime_seconds": "Running time (seconds)",
+    "peak_memory_mb": "Peak memory (MB)",
+}
+
+
+def _format_value(metric: str, value: float) -> str:
+    if metric == "max_latency":
+        return f"{value:,.0f}"
+    if metric == "runtime_seconds":
+        return f"{value:.3f}"
+    if metric == "peak_memory_mb":
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def render_series(table: ResultTable, metric: str) -> str:
+    """Render one metric of a result table as an aligned text table."""
+    series = table.mean_series(metric)
+    sweep_values = table.sweep_values()
+    algorithms = table.algorithms()
+
+    header_cells = [f"{table.sweep_parameter}"] + [
+        f"{value:g}" for value in sweep_values
+    ]
+    rows: List[List[str]] = [header_cells]
+    for algorithm in algorithms:
+        by_value = dict(series.get(algorithm, []))
+        cells = [algorithm]
+        for value in sweep_values:
+            if value in by_value:
+                cells.append(_format_value(metric, by_value[value]))
+            else:
+                cells.append("-")
+        rows.append(cells)
+
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header_cells))]
+    lines = [f"{_METRIC_LABELS.get(metric, metric)} — {table.experiment_id}"]
+    for row_index, row in enumerate(rows):
+        line = "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line)
+        if row_index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
+    return "\n".join(lines)
+
+
+def render_table(table: ResultTable, metrics: Sequence[str] = FIGURE_METRICS) -> str:
+    """Render all requested metrics of a result table."""
+    blocks = [render_series(table, metric) for metric in metrics]
+    return "\n\n".join(blocks)
+
+
+def render_summary(tables: Dict[str, ResultTable]) -> str:
+    """Render several experiments back to back (id order)."""
+    blocks = []
+    for experiment_id in sorted(tables):
+        blocks.append(f"=== {experiment_id} ===")
+        blocks.append(render_table(tables[experiment_id]))
+    return "\n\n".join(blocks)

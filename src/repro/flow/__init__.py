@@ -1,0 +1,32 @@
+"""Minimum-cost-flow substrate.
+
+MCF-LTC (Algorithm 1 in the paper) reduces each batch of workers to a
+minimum-cost-flow instance and solves it with the Successive Shortest Path
+Algorithm (SSPA).  This package implements that substrate from scratch:
+
+* :class:`FlowNetwork` — a residual-graph representation with real-valued
+  costs and integer capacities.
+* :func:`successive_shortest_paths` — SSPA with Bellman–Ford initial
+  potentials (the LTC reduction uses negative arc costs) and Dijkstra with
+  Johnson potentials for each augmentation.
+* :func:`validate_flow` — independent verification of capacity/conservation
+  constraints, used by the test-suite and by debugging assertions.
+"""
+
+from repro.flow.network import Edge, FlowNetwork
+from repro.flow.sspa import FlowResult, successive_shortest_paths, min_cost_flow
+from repro.flow.validate import validate_flow, FlowViolation
+from repro.flow.exceptions import FlowError, NegativeCycleError, InfeasibleFlowError
+
+__all__ = [
+    "Edge",
+    "FlowNetwork",
+    "FlowResult",
+    "successive_shortest_paths",
+    "min_cost_flow",
+    "validate_flow",
+    "FlowViolation",
+    "FlowError",
+    "NegativeCycleError",
+    "InfeasibleFlowError",
+]

@@ -1,0 +1,143 @@
+"""Residual flow-network representation.
+
+The network stores directed edges with integer capacities and real-valued
+costs, together with their residual (reverse) twins.  Nodes are arbitrary
+hashable labels so the MCF-LTC reduction can use worker/task objects (or
+their ids) directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional
+
+Node = Hashable
+
+
+@dataclass(slots=True)
+class Edge:
+    """A directed edge plus its residual state.
+
+    ``flow`` is the amount currently pushed along the edge.  The residual
+    capacity is ``capacity - flow``; the paired reverse edge exposes the same
+    flow with the opposite sign through :attr:`residual_capacity`.
+    """
+
+    head: Node
+    tail: Node
+    capacity: int
+    cost: float
+    flow: int = 0
+    is_residual: bool = False
+    _twin: Optional["Edge"] = field(default=None, repr=False, compare=False)
+
+    @property
+    def residual_capacity(self) -> int:
+        """How much additional flow this edge can carry."""
+        return self.capacity - self.flow
+
+    @property
+    def twin(self) -> "Edge":
+        """The paired reverse edge."""
+        if self._twin is None:
+            raise RuntimeError("edge has no twin; was it added through FlowNetwork?")
+        return self._twin
+
+    def push(self, amount: int) -> None:
+        """Push ``amount`` units of flow along this edge."""
+        if amount < 0:
+            raise ValueError("flow amount must be non-negative")
+        if amount > self.residual_capacity:
+            raise ValueError(
+                f"cannot push {amount} units over residual capacity "
+                f"{self.residual_capacity}"
+            )
+        self.flow += amount
+        self.twin.flow -= amount
+
+
+class FlowNetwork:
+    """A directed graph with capacities and costs for min-cost-flow solving.
+
+    Edges are added with :meth:`add_edge`, which also creates the residual
+    twin.  The adjacency structure exposes both forward and residual edges,
+    which is what SSPA's shortest-path searches operate on.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Node, List[Edge]] = {}
+
+    def add_node(self, node: Node) -> None:
+        """Register ``node`` (idempotent)."""
+        self._adjacency.setdefault(node, [])
+
+    def add_edge(self, tail: Node, head: Node, capacity: int, cost: float) -> Edge:
+        """Add a forward edge ``tail -> head`` and its residual twin.
+
+        Returns the forward edge.  Capacities must be non-negative integers;
+        costs may be any finite float (the LTC reduction uses negative costs).
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if int(capacity) != capacity:
+            raise ValueError("capacity must be an integer")
+        self.add_node(tail)
+        self.add_node(head)
+        forward = Edge(head=head, tail=tail, capacity=int(capacity), cost=float(cost))
+        backward = Edge(
+            head=tail,
+            tail=head,
+            capacity=0,
+            cost=-float(cost),
+            is_residual=True,
+        )
+        forward._twin = backward
+        backward._twin = forward
+        self._adjacency[tail].append(forward)
+        self._adjacency[head].append(backward)
+        return forward
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All registered nodes."""
+        return list(self._adjacency.keys())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def edges_from(self, node: Node) -> List[Edge]:
+        """Forward and residual edges leaving ``node``."""
+        return self._adjacency.get(node, [])
+
+    def forward_edges(self) -> Iterator[Edge]:
+        """Iterate over every non-residual edge in the network."""
+        for edges in self._adjacency.values():
+            for edge in edges:
+                if not edge.is_residual:
+                    yield edge
+
+    def total_cost(self) -> float:
+        """Total cost of the current flow (sum of cost * flow on forward edges)."""
+        return sum(edge.cost * edge.flow for edge in self.forward_edges())
+
+    def outflow(self, node: Node) -> int:
+        """Net flow leaving ``node`` over forward edges minus flow entering it."""
+        net = 0
+        for other_edges in self._adjacency.values():
+            for edge in other_edges:
+                if edge.is_residual:
+                    continue
+                if edge.tail == node:
+                    net += edge.flow
+                if edge.head == node:
+                    net -= edge.flow
+        return net
+
+    def reset_flow(self) -> None:
+        """Zero out the flow on every edge."""
+        for edges in self._adjacency.values():
+            for edge in edges:
+                edge.flow = 0

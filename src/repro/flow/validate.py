@@ -1,0 +1,86 @@
+"""Independent validation of flows.
+
+The solver in :mod:`repro.flow.sspa` maintains its own invariants, but tests
+and debugging assertions want an *independent* check that a computed flow is
+feasible: capacities respected, flow conserved at every node except the
+source and sink, and the claimed flow value consistent with the source's net
+outflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List
+
+from repro.flow.network import FlowNetwork
+
+Node = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class FlowViolation:
+    """A single violated flow constraint, for readable test failures."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}: {self.detail}"
+
+
+def validate_flow(
+    network: FlowNetwork,
+    source: Node,
+    sink: Node,
+    expected_value: int | None = None,
+) -> List[FlowViolation]:
+    """Return the list of constraint violations of the network's current flow.
+
+    An empty list means the flow is feasible.  When ``expected_value`` is
+    given, the source's net outflow must equal it.
+    """
+    violations: List[FlowViolation] = []
+    net_by_node: dict[Node, int] = {node: 0 for node in network.nodes}
+
+    for edge in network.forward_edges():
+        if edge.flow < 0:
+            violations.append(
+                FlowViolation("negative-flow", f"{edge.tail}->{edge.head}: {edge.flow}")
+            )
+        if edge.flow > edge.capacity:
+            violations.append(
+                FlowViolation(
+                    "capacity",
+                    f"{edge.tail}->{edge.head}: flow {edge.flow} > capacity {edge.capacity}",
+                )
+            )
+        net_by_node[edge.tail] += edge.flow
+        net_by_node[edge.head] -= edge.flow
+
+    for node, net in net_by_node.items():
+        if node == source or node == sink:
+            continue
+        if net != 0:
+            violations.append(
+                FlowViolation("conservation", f"node {node!r} has net outflow {net}")
+            )
+
+    if net_by_node.get(source, 0) != -net_by_node.get(sink, 0):
+        violations.append(
+            FlowViolation(
+                "source-sink-mismatch",
+                f"source net {net_by_node.get(source, 0)} vs sink net "
+                f"{net_by_node.get(sink, 0)}",
+            )
+        )
+
+    if expected_value is not None and net_by_node.get(source, 0) != expected_value:
+        violations.append(
+            FlowViolation(
+                "value",
+                f"source routes {net_by_node.get(source, 0)} units, expected "
+                f"{expected_value}",
+            )
+        )
+
+    return violations

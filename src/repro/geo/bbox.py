@@ -1,0 +1,105 @@
+"""Axis-aligned bounding boxes.
+
+Bounding boxes describe dataset extents (the synthetic 1000x1000 grid, or a
+city's check-in region) and back the uniform grid index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """A closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "invalid bounding box: "
+                f"({self.min_x}, {self.min_y}) .. ({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent along the x axis."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Area of the box."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre point of the box."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (or on the border of) the box."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Whether the two boxes share at least one point."""
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` on every side."""
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the box (nearest point inside it)."""
+        x = min(max(point.x, self.min_x), self.max_x)
+        y = min(max(point.y, self.min_y), self.max_y)
+        return Point(x, y)
+
+    @classmethod
+    def square(cls, side: float) -> "BoundingBox":
+        """A ``[0, side] x [0, side]`` box (the paper's synthetic grid)."""
+        if side <= 0:
+            raise ValueError("side must be positive")
+        return cls(0.0, 0.0, side, side)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point | Sequence[float]]) -> "BoundingBox":
+        """The smallest box containing every point in ``points``."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for p in points:
+            if isinstance(p, Point):
+                xs.append(p.x)
+                ys.append(p.y)
+            else:
+                xs.append(float(p[0]))
+                ys.append(float(p[1]))
+        if not xs:
+            raise ValueError("cannot build a bounding box from zero points")
+        return cls(min(xs), min(ys), max(xs), max(ys))

@@ -1,0 +1,46 @@
+"""Distance functions over points or raw coordinate pairs.
+
+These free functions accept either :class:`repro.geo.Point` instances or any
+``(x, y)`` sequences, so data-generation code that works with raw numpy rows
+does not need to wrap every row in a ``Point``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Union
+
+from repro.geo.point import Point
+
+Coordinate = Union[Point, Sequence[float]]
+
+
+def _xy(p: Coordinate) -> tuple[float, float]:
+    """Extract ``(x, y)`` from a point-like object."""
+    if isinstance(p, Point):
+        return p.x, p.y
+    x, y = p[0], p[1]
+    return float(x), float(y)
+
+
+def euclidean(a: Coordinate, b: Coordinate) -> float:
+    """Euclidean (L2) distance between two point-like values."""
+    ax, ay = _xy(a)
+    bx, by = _xy(b)
+    return math.hypot(ax - bx, ay - by)
+
+
+def squared_euclidean(a: Coordinate, b: Coordinate) -> float:
+    """Squared Euclidean distance (avoids the square root)."""
+    ax, ay = _xy(a)
+    bx, by = _xy(b)
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def manhattan(a: Coordinate, b: Coordinate) -> float:
+    """Manhattan (L1) distance between two point-like values."""
+    ax, ay = _xy(a)
+    bx, by = _xy(b)
+    return abs(ax - bx) + abs(ay - by)

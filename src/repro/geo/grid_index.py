@@ -1,0 +1,171 @@
+"""A uniform grid spatial index.
+
+The baselines in the paper's evaluation ("Base-off" and "Random") assign
+*nearby* tasks to a worker, and the data generators need to sample task
+locations close to check-in hotspots.  A uniform grid over the dataset's
+bounding box gives O(1) insertion and cheap range / nearest-neighbour queries,
+which is all that is required at the scales involved; it mirrors the grid
+world in the paper's synthetic setup.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+ItemId = TypeVar("ItemId", bound=Hashable)
+
+
+class GridIndex(Generic[ItemId]):
+    """Maps item ids to locations and supports spatial queries.
+
+    Parameters
+    ----------
+    bounds:
+        The spatial extent covered by the index.  Points outside the extent
+        are clamped into the border cells (they remain queryable).
+    cell_size:
+        Side length of each square cell, in the same units as the bounds.
+    """
+
+    def __init__(self, bounds: BoundingBox, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._bounds = bounds
+        self._cell_size = float(cell_size)
+        self._cols = max(1, int(math.ceil(bounds.width / cell_size)))
+        self._rows = max(1, int(math.ceil(bounds.height / cell_size)))
+        self._cells: Dict[Tuple[int, int], List[ItemId]] = {}
+        self._locations: Dict[ItemId, Point] = {}
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """The extent covered by the index."""
+        return self._bounds
+
+    @property
+    def cell_size(self) -> float:
+        """The side length of each grid cell."""
+        return self._cell_size
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, item_id: ItemId) -> bool:
+        return item_id in self._locations
+
+    def __iter__(self) -> Iterator[ItemId]:
+        return iter(self._locations)
+
+    def _cell_of(self, point: Point) -> Tuple[int, int]:
+        """Grid cell containing ``point`` (clamped to the extent)."""
+        col = int((point.x - self._bounds.min_x) // self._cell_size)
+        row = int((point.y - self._bounds.min_y) // self._cell_size)
+        col = min(max(col, 0), self._cols - 1)
+        row = min(max(row, 0), self._rows - 1)
+        return (col, row)
+
+    def insert(self, item_id: ItemId, location: Point) -> None:
+        """Insert ``item_id`` at ``location`` (re-inserting moves it)."""
+        if item_id in self._locations:
+            self.remove(item_id)
+        cell = self._cell_of(location)
+        self._cells.setdefault(cell, []).append(item_id)
+        self._locations[item_id] = location
+
+    def remove(self, item_id: ItemId) -> None:
+        """Remove ``item_id``; raises ``KeyError`` if absent."""
+        location = self._locations.pop(item_id)
+        cell = self._cell_of(location)
+        members = self._cells.get(cell, [])
+        members.remove(item_id)
+        if not members:
+            self._cells.pop(cell, None)
+
+    def location_of(self, item_id: ItemId) -> Point:
+        """The stored location of ``item_id``."""
+        return self._locations[item_id]
+
+    def items(self) -> Iterator[Tuple[ItemId, Point]]:
+        """Iterate over ``(item_id, location)`` pairs."""
+        return iter(self._locations.items())
+
+    def query_radius(self, center: Point, radius: float) -> List[ItemId]:
+        """All items within Euclidean distance ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        col_min, row_min = self._cell_of(Point(center.x - radius, center.y - radius))
+        col_max, row_max = self._cell_of(Point(center.x + radius, center.y + radius))
+        result: List[ItemId] = []
+        r2 = radius * radius
+        for col in range(col_min, col_max + 1):
+            for row in range(row_min, row_max + 1):
+                for item_id in self._cells.get((col, row), ()):  # pragma: no branch
+                    if self._locations[item_id].squared_distance_to(center) <= r2:
+                        result.append(item_id)
+        return result
+
+    def nearest(
+        self, center: Point, k: int = 1, max_radius: Optional[float] = None
+    ) -> List[ItemId]:
+        """The ``k`` items nearest to ``center``, closest first.
+
+        Searches rings of cells of increasing radius until ``k`` items are
+        found or ``max_radius`` (if given) is exceeded.  Returns fewer than
+        ``k`` items when the index is small or the radius cap cuts the search
+        short.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not self._locations:
+            return []
+
+        found: List[Tuple[float, ItemId]] = []
+        seen: set[ItemId] = set()
+        ring = 0
+        max_ring = max(self._cols, self._rows)
+        center_cell = self._cell_of(center)
+        while ring <= max_ring:
+            radius_bound = ring * self._cell_size
+            if max_radius is not None and radius_bound > max_radius + self._cell_size:
+                break
+            for col, row in self._ring_cells(center_cell, ring):
+                for item_id in self._cells.get((col, row), ()):
+                    if item_id in seen:
+                        continue
+                    seen.add(item_id)
+                    dist = self._locations[item_id].distance_to(center)
+                    if max_radius is not None and dist > max_radius:
+                        continue
+                    found.append((dist, item_id))
+            # Once we have k candidates and have expanded one ring past the
+            # furthest candidate, no closer item can appear in later rings.
+            if len(found) >= k:
+                found.sort(key=lambda pair: pair[0])
+                if found[k - 1][0] <= ring * self._cell_size:
+                    break
+            ring += 1
+
+        found.sort(key=lambda pair: pair[0])
+        return [item_id for _, item_id in found[:k]]
+
+    def _ring_cells(
+        self, center_cell: Tuple[int, int], ring: int
+    ) -> Iterator[Tuple[int, int]]:
+        """Cells at Chebyshev distance ``ring`` from ``center_cell``."""
+        c0, r0 = center_cell
+        if ring == 0:
+            if 0 <= c0 < self._cols and 0 <= r0 < self._rows:
+                yield (c0, r0)
+            return
+        for col in range(c0 - ring, c0 + ring + 1):
+            for row in (r0 - ring, r0 + ring):
+                if 0 <= col < self._cols and 0 <= row < self._rows:
+                    yield (col, row)
+        for row in range(r0 - ring + 1, r0 + ring):
+            for col in (c0 - ring, c0 + ring):
+                if 0 <= col < self._cols and 0 <= row < self._rows:
+                    yield (col, row)

@@ -1,0 +1,80 @@
+"""Convex hulls and point-in-polygon tests.
+
+The paper's real-data setup generates task locations "with the coordinates of
+POIs within the convex region of the workers" (Sec. V-A).  The Foursquare-like
+generator therefore needs a convex hull of the worker check-in locations and a
+containment test to accept/reject candidate POI locations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.geo.point import Point
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    """Z-component of the cross product of vectors ``o->a`` and ``o->b``."""
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def convex_hull(points: Iterable[Point | Sequence[float]]) -> List[Point]:
+    """Return the convex hull of ``points`` in counter-clockwise order.
+
+    Uses Andrew's monotone chain algorithm (O(n log n)).  Collinear points on
+    the hull boundary are dropped.  Degenerate inputs (fewer than 3 distinct
+    points) return the distinct points themselves.
+    """
+    normalized: list[Point] = []
+    for p in points:
+        if isinstance(p, Point):
+            normalized.append(p)
+        else:
+            normalized.append(Point(float(p[0]), float(p[1])))
+
+    unique = sorted(set(normalized), key=lambda p: (p.x, p.y))
+    if len(unique) <= 2:
+        return unique
+
+    lower: list[Point] = []
+    for p in unique:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: list[Point] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    return lower[:-1] + upper[:-1]
+
+
+def point_in_convex_polygon(point: Point, polygon: Sequence[Point]) -> bool:
+    """Whether ``point`` is inside (or on the border of) a convex polygon.
+
+    The polygon must be given in counter-clockwise order, as produced by
+    :func:`convex_hull`.  Degenerate polygons (fewer than 3 vertices) only
+    contain their own vertices.
+    """
+    n = len(polygon)
+    if n == 0:
+        return False
+    if n == 1:
+        return point == polygon[0]
+    if n == 2:
+        a, b = polygon
+        if abs(_cross(a, b, point)) > 1e-9:
+            return False
+        return (
+            min(a.x, b.x) - 1e-9 <= point.x <= max(a.x, b.x) + 1e-9
+            and min(a.y, b.y) - 1e-9 <= point.y <= max(a.y, b.y) + 1e-9
+        )
+
+    for i in range(n):
+        a = polygon[i]
+        b = polygon[(i + 1) % n]
+        if _cross(a, b, point) < -1e-9:
+            return False
+    return True

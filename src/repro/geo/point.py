@@ -1,0 +1,62 @@
+"""A minimal immutable 2-D point.
+
+The paper places tasks and workers on a 1000x1000 grid where each cell is a
+10 m x 10 m square; distances in the accuracy function are measured in grid
+units.  A plain ``(x, y)`` tuple would work, but a tiny named type keeps call
+sites readable and gives us a single place for distance helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the plane.
+
+    Coordinates are floats in the coordinate system chosen by the dataset
+    (grid units for the synthetic data, scaled metres for the check-in data).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (cheaper when only comparing)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the ``(x, y)`` tuple representation."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    @classmethod
+    def origin(cls) -> "Point":
+        """The point ``(0, 0)``."""
+        return cls(0.0, 0.0)
+
+    @classmethod
+    def from_tuple(cls, xy: Tuple[float, float]) -> "Point":
+        """Build a point from an ``(x, y)`` pair."""
+        x, y = xy
+        return cls(float(x), float(y))

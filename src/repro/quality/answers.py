@@ -1,0 +1,56 @@
+"""Simulated worker answers.
+
+The paper evaluates latency, not answer quality, because the Hoeffding bound
+guarantees quality once the threshold is reached.  To make that guarantee
+checkable, this module draws each worker's answer from a Bernoulli with the
+pair's predicted accuracy: the worker answers the task's ground truth with
+probability ``Acc(w, t)`` and the opposite otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.accuracy import AccuracyModel
+from repro.core.arrangement import Arrangement
+from repro.core.instance import LTCInstance
+
+
+@dataclass
+class AnswerSimulator:
+    """Draws worker answers consistent with the predicted accuracies."""
+
+    accuracy_model: AccuracyModel
+    rng: np.random.Generator
+
+    def answer(self, worker, task) -> int:
+        """One simulated answer (+1 / -1) of ``worker`` on ``task``."""
+        accuracy = self.accuracy_model.accuracy(worker, task)
+        if self.rng.random() < accuracy:
+            return task.true_answer
+        return -task.true_answer
+
+
+def simulate_answers(
+    instance: LTCInstance,
+    arrangement: Arrangement,
+    rng: np.random.Generator,
+) -> Dict[int, List[Tuple[int, int, float]]]:
+    """Simulate the answers of every assignment in ``arrangement``.
+
+    Returns a mapping ``task_id -> [(worker_index, answer, accuracy), ...]``
+    suitable for feeding into weighted majority voting.
+    """
+    simulator = AnswerSimulator(accuracy_model=instance.accuracy_model, rng=rng)
+    answers: Dict[int, List[Tuple[int, int, float]]] = {
+        task.task_id: [] for task in instance.tasks
+    }
+    for assignment in arrangement.assignments:
+        worker = instance.worker(assignment.worker_index)
+        task = instance.task(assignment.task_id)
+        drawn = simulator.answer(worker, task)
+        answers[task.task_id].append((worker.index, drawn, assignment.acc))
+    return answers

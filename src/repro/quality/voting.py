@@ -1,0 +1,70 @@
+"""Weighted majority voting (Definition 4).
+
+The platform determines the answer of a task as
+
+    l_t = sign( sum_{w in W_t} weight_{w,t} * l_{w,t} ),  weight = 2*Acc(w,t) - 1
+
+A tie (zero sum) is broken towards +1, which only matters for degenerate
+inputs with no informative voters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class VoteOutcome:
+    """Result of aggregating worker answers for one task."""
+
+    decision: int
+    score: float
+    total_weight: float
+    num_votes: int
+
+    @property
+    def confidence(self) -> float:
+        """|score| / total_weight in [0, 1]; 0 when there are no voters."""
+        if self.total_weight <= 0:
+            return 0.0
+        return abs(self.score) / self.total_weight
+
+
+def weighted_majority_vote(
+    answers: Sequence[int], accuracies: Sequence[float]
+) -> VoteOutcome:
+    """Aggregate binary answers using weights ``2 * Acc - 1``.
+
+    Parameters
+    ----------
+    answers:
+        Worker answers, each +1 or -1.
+    accuracies:
+        Predicted accuracy of each answering worker (same order/length).
+
+    Returns
+    -------
+    VoteOutcome
+        The sign decision, the raw weighted score, the total weight and the
+        number of votes.
+    """
+    if len(answers) != len(accuracies):
+        raise ValueError("answers and accuracies must have the same length")
+    score = 0.0
+    total_weight = 0.0
+    for answer, accuracy in zip(answers, accuracies):
+        if answer not in (-1, 1):
+            raise ValueError(f"answers must be +1 or -1, got {answer}")
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        weight = 2.0 * accuracy - 1.0
+        score += weight * answer
+        total_weight += abs(weight)
+    decision = 1 if score >= 0 else -1
+    return VoteOutcome(
+        decision=decision,
+        score=score,
+        total_weight=total_weight,
+        num_votes=len(answers),
+    )

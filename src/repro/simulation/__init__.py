@@ -1,0 +1,24 @@
+"""Simulation and measurement harness.
+
+The experiment pipeline is: generate an instance (``repro.datagen``), run a
+solver on it while metering runtime and memory (``metrics``), optionally
+record the arrival-by-arrival trace of an online solver (``engine``), repeat
+and aggregate (``runner`` / ``results``).
+"""
+
+from repro.simulation.metrics import SolveMeasurement, measure_solver
+from repro.simulation.engine import OnlineSimulation, ArrivalEvent, SimulationOutcome
+from repro.simulation.results import ExperimentRecord, ResultTable, FIGURE_METRICS
+from repro.simulation.runner import ExperimentRunner
+
+__all__ = [
+    "SolveMeasurement",
+    "measure_solver",
+    "OnlineSimulation",
+    "ArrivalEvent",
+    "SimulationOutcome",
+    "ExperimentRecord",
+    "ResultTable",
+    "FIGURE_METRICS",
+    "ExperimentRunner",
+]

@@ -1,0 +1,132 @@
+"""Result records and aggregation tables for experiments.
+
+One :class:`ExperimentRecord` is produced per (sweep value, algorithm,
+repetition).  A :class:`ResultTable` collects records and aggregates them
+into the per-(x, algorithm) means that the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.structures.stats import RunningStats
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One measured solver run inside an experiment sweep."""
+
+    experiment_id: str
+    sweep_parameter: str
+    sweep_value: float
+    algorithm: str
+    repetition: int
+    max_latency: float
+    completed: bool
+    runtime_seconds: float
+    peak_memory_mb: float
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        """Read a metric by name ("max_latency", "runtime_seconds", ...)."""
+        if name == "max_latency":
+            return self.max_latency
+        if name == "runtime_seconds":
+            return self.runtime_seconds
+        if name == "peak_memory_mb":
+            return self.peak_memory_mb
+        if name == "completed":
+            return float(self.completed)
+        if name in self.extra:
+            return float(self.extra[name])
+        raise KeyError(f"unknown metric {name!r}")
+
+
+#: The metrics the paper's figure panels report, in panel order.
+FIGURE_METRICS: Tuple[str, ...] = ("max_latency", "runtime_seconds", "peak_memory_mb")
+
+
+class ResultTable:
+    """A collection of experiment records with aggregation helpers."""
+
+    def __init__(self, experiment_id: str, sweep_parameter: str) -> None:
+        self.experiment_id = experiment_id
+        self.sweep_parameter = sweep_parameter
+        self._records: List[ExperimentRecord] = []
+
+    def add(self, record: ExperimentRecord) -> None:
+        """Append one record (its experiment id must match the table's)."""
+        if record.experiment_id != self.experiment_id:
+            raise ValueError(
+                f"record belongs to {record.experiment_id!r}, "
+                f"table is {self.experiment_id!r}"
+            )
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ExperimentRecord]) -> None:
+        """Append many records."""
+        for record in records:
+            self.add(record)
+
+    @property
+    def records(self) -> List[ExperimentRecord]:
+        """All records (copy)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def algorithms(self) -> List[str]:
+        """Algorithm names present, in first-appearance order."""
+        seen: List[str] = []
+        for record in self._records:
+            if record.algorithm not in seen:
+                seen.append(record.algorithm)
+        return seen
+
+    def sweep_values(self) -> List[float]:
+        """Sorted distinct sweep values."""
+        return sorted({record.sweep_value for record in self._records})
+
+    def aggregate(self, metric: str) -> Dict[str, Dict[float, RunningStats]]:
+        """``algorithm -> sweep value -> statistics of the metric``."""
+        table: Dict[str, Dict[float, RunningStats]] = {}
+        for record in self._records:
+            by_value = table.setdefault(record.algorithm, {})
+            stats = by_value.setdefault(record.sweep_value, RunningStats())
+            stats.add(record.metric(metric))
+        return table
+
+    def mean_series(self, metric: str) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-algorithm ``(sweep value, mean metric)`` series, sorted by value."""
+        aggregated = self.aggregate(metric)
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for algorithm, by_value in aggregated.items():
+            series[algorithm] = [
+                (value, by_value[value].mean) for value in sorted(by_value)
+            ]
+        return series
+
+    def completion_rate(self) -> float:
+        """Fraction of runs that completed every task."""
+        if not self._records:
+            return 0.0
+        return sum(record.completed for record in self._records) / len(self._records)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Plain-dict rows (one per record), handy for CSV-ish dumping."""
+        rows: List[Dict[str, object]] = []
+        for record in self._records:
+            row: Dict[str, object] = {
+                "experiment_id": record.experiment_id,
+                self.sweep_parameter: record.sweep_value,
+                "algorithm": record.algorithm,
+                "repetition": record.repetition,
+                "max_latency": record.max_latency,
+                "completed": record.completed,
+                "runtime_seconds": record.runtime_seconds,
+                "peak_memory_mb": record.peak_memory_mb,
+            }
+            rows.append(row)
+        return rows

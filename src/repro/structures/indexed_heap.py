@@ -1,0 +1,125 @@
+"""An indexed min-heap with decrease/increase-key support.
+
+Used by the ``Base-off`` baseline, which repeatedly needs "the task with the
+fewest remaining nearby workers" and must update a task's key whenever a
+nearby worker is consumed.  The implementation is a standard binary heap with
+a position map, giving O(log n) updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+Key = TypeVar("Key", bound=Hashable)
+
+
+class IndexedMinHeap(Generic[Key]):
+    """A binary min-heap of ``(priority, key)`` supporting key updates."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[float, Key]] = []
+        self._positions: Dict[Key, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._positions
+
+    def priority_of(self, key: Key) -> float:
+        """The current priority of ``key``."""
+        return self._entries[self._positions[key]][0]
+
+    def push(self, key: Key, priority: float) -> None:
+        """Insert ``key`` with ``priority``; updates it if already present."""
+        if key in self._positions:
+            self.update(key, priority)
+            return
+        self._entries.append((float(priority), key))
+        index = len(self._entries) - 1
+        self._positions[key] = index
+        self._sift_up(index)
+
+    def update(self, key: Key, priority: float) -> None:
+        """Change ``key``'s priority (both decreases and increases allowed)."""
+        index = self._positions[key]
+        old_priority, _ = self._entries[index]
+        self._entries[index] = (float(priority), key)
+        if priority < old_priority:
+            self._sift_up(index)
+        else:
+            self._sift_down(index)
+
+    def peek(self) -> Tuple[float, Key]:
+        """The smallest ``(priority, key)`` without removing it."""
+        if not self._entries:
+            raise IndexError("peek on an empty heap")
+        return self._entries[0]
+
+    def pop(self) -> Tuple[float, Key]:
+        """Remove and return the smallest ``(priority, key)``."""
+        if not self._entries:
+            raise IndexError("pop from an empty heap")
+        smallest = self._entries[0]
+        last = self._entries.pop()
+        del self._positions[smallest[1]]
+        if self._entries:
+            self._entries[0] = last
+            self._positions[last[1]] = 0
+            self._sift_down(0)
+        return smallest
+
+    def remove(self, key: Key) -> None:
+        """Remove ``key`` from the heap; raises ``KeyError`` if absent."""
+        index = self._positions.pop(key)
+        last = self._entries.pop()
+        if index < len(self._entries):
+            self._entries[index] = last
+            self._positions[last[1]] = index
+            self._sift_down(index)
+            self._sift_up(index)
+
+    def pop_if(self, key: Key) -> Optional[Tuple[float, Key]]:
+        """Remove ``key`` if present and return its entry, else ``None``."""
+        if key not in self._positions:
+            return None
+        entry = (self.priority_of(key), key)
+        self.remove(key)
+        return entry
+
+    def _sift_up(self, index: int) -> None:
+        entry = self._entries[index]
+        while index > 0:
+            parent = (index - 1) // 2
+            if self._entries[parent] <= entry:
+                break
+            self._entries[index] = self._entries[parent]
+            self._positions[self._entries[index][1]] = index
+            index = parent
+        self._entries[index] = entry
+        self._positions[entry[1]] = index
+
+    def _sift_down(self, index: int) -> None:
+        entry = self._entries[index]
+        size = len(self._entries)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            smallest = index
+            smallest_entry = entry
+            if left < size and self._entries[left] < smallest_entry:
+                smallest = left
+                smallest_entry = self._entries[left]
+            if right < size and self._entries[right] < smallest_entry:
+                smallest = right
+                smallest_entry = self._entries[right]
+            if smallest == index:
+                break
+            self._entries[index] = smallest_entry
+            self._positions[smallest_entry[1]] = index
+            index = smallest
+        self._entries[index] = entry
+        self._positions[entry[1]] = index

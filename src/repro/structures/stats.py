@@ -1,0 +1,69 @@
+"""Streaming statistics accumulator.
+
+The paper repeats every experiment 30 times and reports averages; the
+experiment runner uses :class:`RunningStats` (Welford's algorithm) so means
+and standard deviations are available without storing every sample twice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class RunningStats:
+    """Accumulates count / mean / variance / min / max of observed samples."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.samples.append(value)
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: list[float]) -> None:
+        """Record many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator combining this one with ``other``."""
+        merged = RunningStats()
+        merged.extend(self.samples)
+        merged.extend(other.samples)
+        return merged
+
+    def summary(self) -> dict[str, float]:
+        """A plain-dict summary for report rendering."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.minimum if self.count else float("nan"),
+            "max": self.maximum if self.count else float("nan"),
+        }

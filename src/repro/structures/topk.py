@@ -1,0 +1,84 @@
+"""A bounded heap that keeps the K largest-scored items.
+
+This mirrors the heap ``Q`` in the paper's Algorithms 1-3: candidate tasks
+are pushed with a score (``Acc*`` for LAF, the gain for LGF, the remaining
+need for LRF) and the heap retains only the best ``capacity`` of them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, Iterator, List, Tuple, TypeVar
+
+Item = TypeVar("Item")
+
+
+class TopKHeap(Generic[Item]):
+    """Keeps the ``capacity`` items with the largest scores.
+
+    Internally a min-heap of size at most ``capacity``: pushing a new item
+    evicts the currently smallest-scored item when the heap is full and the
+    new score is larger.  Ties are broken in favour of the item pushed first
+    (earlier items are *not* evicted by equal scores), which matches the
+    deterministic behaviour assumed by the paper's worked examples.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        # Entries are (score, -sequence, item): among equal scores the most
+        # recently pushed entry is the smallest and therefore evicted first.
+        self._heap: List[Tuple[float, int, Item]] = []
+        self._counter = itertools.count()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained items."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, score: float, item: Item) -> bool:
+        """Offer ``item`` with ``score``; return True if it was retained."""
+        entry = (float(score), -next(self._counter), item)
+        if len(self._heap) < self._capacity:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def pop_smallest(self) -> Tuple[float, Item]:
+        """Remove and return the retained item with the smallest score."""
+        if not self._heap:
+            raise IndexError("pop from an empty TopKHeap")
+        score, _, item = heapq.heappop(self._heap)
+        return score, item
+
+    def pop_all(self) -> List[Tuple[float, Item]]:
+        """Remove and return all retained items, largest score first."""
+        drained: List[Tuple[float, Item]] = []
+        while self._heap:
+            drained.append(self.pop_smallest())
+        drained.reverse()
+        return drained
+
+    def peek_items(self) -> List[Item]:
+        """The retained items in arbitrary order (heap unchanged)."""
+        return [item for _, _, item in self._heap]
+
+    def __iter__(self) -> Iterator[Tuple[float, Item]]:
+        """Iterate over ``(score, item)`` pairs in arbitrary order."""
+        for score, _, item in self._heap:
+            yield score, item
+
+    def clear(self) -> None:
+        """Drop every retained item."""
+        self._heap.clear()

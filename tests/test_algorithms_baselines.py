@@ -1,0 +1,99 @@
+"""Tests for the Base-off and Random baselines."""
+
+import pytest
+
+from repro.algorithms.baselines import BaseOffSolver, RandomOnlineSolver
+from repro.core.accuracy import TabularAccuracy
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+
+
+class TestBaseOff:
+    def test_completes_and_respects_constraints(self, small_synthetic_instance):
+        result = BaseOffSolver().solve(small_synthetic_instance)
+        assert result.completed
+        assert result.arrangement.constraint_violations(
+            small_synthetic_instance.workers_by_index()) == []
+
+    def test_prioritises_scarce_tasks(self):
+        """The task that only the first worker can perform must be served first."""
+        table = {
+            (1, 0): 0.95, (1, 1): 0.95,      # worker 1 can do both tasks
+            (2, 1): 0.95,                    # later workers can only do task 1
+            (3, 1): 0.95,
+            (4, 1): 0.95,
+            (5, 1): 0.95,
+        }
+        tasks = [Task.at(0, 0, 0), Task.at(1, 1, 0)]
+        workers = [Worker.at(i, 0, 0, accuracy=0.9, capacity=1) for i in range(1, 6)]
+        instance = LTCInstance(tasks=tasks, workers=workers, error_rate=0.67,
+                               accuracy_model=TabularAccuracy(table, default=0.5))
+        # delta = 2 ln(1/0.67) ~= 0.80, so one 0.95-accurate answer (Acc* =
+        # 0.81) completes a task.  Worker 1 is the only worker that can ever
+        # serve task 0, so scarcity must route worker 1 to task 0 even though
+        # task 1 is equally accurate for it.
+        result = BaseOffSolver().solve(instance)
+        first_assignment = result.arrangement.assignments[0]
+        assert first_assignment.worker_index == 1
+        assert first_assignment.task_id == 0
+        assert result.completed
+
+    def test_offline_knowledge_is_fixed_at_start(self, small_synthetic_instance):
+        """Two runs over the same instance give identical results (deterministic)."""
+        first = BaseOffSolver().solve(small_synthetic_instance)
+        second = BaseOffSolver().solve(small_synthetic_instance)
+        assert first.max_latency == second.max_latency
+        assert first.num_assignments == second.num_assignments
+
+    def test_is_offline(self):
+        assert not BaseOffSolver().is_online
+
+
+class TestRandom:
+    def test_completes_synthetic_instance(self, small_synthetic_instance):
+        result = RandomOnlineSolver(seed=5).solve(small_synthetic_instance)
+        assert result.completed
+        assert result.arrangement.constraint_violations(
+            small_synthetic_instance.workers_by_index()) == []
+
+    def test_deterministic_given_seed(self, small_synthetic_instance):
+        first = RandomOnlineSolver(seed=9).solve(small_synthetic_instance)
+        second = RandomOnlineSolver(seed=9).solve(small_synthetic_instance)
+        assert first.max_latency == second.max_latency
+
+    def test_different_seeds_can_differ(self, small_synthetic_instance):
+        latencies = {
+            RandomOnlineSolver(seed=seed).solve(small_synthetic_instance).max_latency
+            for seed in range(6)
+        }
+        # Not a hard guarantee, but over six seeds the naive baseline should
+        # not be perfectly stable on a contended instance.
+        assert len(latencies) >= 1
+
+    def test_naive_variant_may_waste_capacity_on_completed_tasks(self, tiny_instance):
+        """The paper's Random is naive: it does not check completion state."""
+        naive = RandomOnlineSolver(seed=1, skip_completed=False).solve(tiny_instance)
+        smart = RandomOnlineSolver(seed=1, skip_completed=True).solve(tiny_instance)
+        assert naive.completed and smart.completed
+        assert smart.max_latency <= naive.max_latency
+
+    def test_observe_before_start_raises(self, tiny_instance):
+        solver = RandomOnlineSolver()
+        with pytest.raises(RuntimeError):
+            solver.observe(tiny_instance.worker(1))
+
+    def test_skip_completed_variant_only_assigns_open_tasks(self, tiny_instance):
+        solver = RandomOnlineSolver(seed=0, skip_completed=True)
+        solver.start(tiny_instance)
+        for worker in tiny_instance.workers:
+            before_complete = set(
+                task_id for task_id in (0, 1)
+                if solver.arrangement.is_task_complete(task_id)
+            )
+            assignments = solver.observe(worker)
+            for assignment in assignments:
+                assert assignment.task_id not in before_complete
+            if solver.is_complete():
+                break

@@ -1,0 +1,117 @@
+"""Tests for repro.algorithms.bounds (Theorem 2 and McNaughton's rule)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.bounds import (
+    bounds_for_error_rate,
+    instance_bounds,
+    latency_lower_bound,
+    latency_upper_bound,
+    mcnaughton_latency,
+    mcnaughton_schedule,
+)
+
+
+class TestBoundFormulas:
+    def test_lower_bound_formula(self):
+        assert latency_lower_bound(100, 4.0, 8) == pytest.approx(50.0)
+
+    def test_upper_bound_formula_with_default_floor(self):
+        expected = 10 * 100 * 4.0 / 8 + 100 / 8 + 1
+        assert latency_upper_bound(100, 4.0, 8) == pytest.approx(expected)
+
+    def test_upper_bound_with_custom_floor(self):
+        assert latency_upper_bound(10, 3.0, 2, min_acc_star=0.5) == pytest.approx(
+            2 * 10 * 3.0 / 2 + 10 / 2 + 1
+        )
+
+    def test_lower_bound_never_exceeds_upper_bound(self):
+        for num_tasks in (1, 10, 100):
+            for delta in (1.0, 3.2, 5.6):
+                for capacity in (1, 4, 8):
+                    assert latency_lower_bound(num_tasks, delta, capacity) <= \
+                        latency_upper_bound(num_tasks, delta, capacity)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            latency_lower_bound(0, 1.0, 1)
+        with pytest.raises(ValueError):
+            latency_lower_bound(1, 0.0, 1)
+        with pytest.raises(ValueError):
+            latency_lower_bound(1, 1.0, 0)
+        with pytest.raises(ValueError):
+            latency_upper_bound(1, 1.0, 1, min_acc_star=0.0)
+
+    def test_instance_bounds(self, tiny_instance):
+        lower, upper = instance_bounds(tiny_instance)
+        expected_lower = tiny_instance.num_tasks * tiny_instance.delta / tiny_instance.capacity
+        assert lower == pytest.approx(expected_lower)
+        assert upper > lower
+
+    def test_bounds_for_error_rate(self):
+        lower, upper = bounds_for_error_rate(10, 0.2, 2)
+        assert lower == pytest.approx(10 * 2 * math.log(5) / 2)
+        assert upper > lower
+
+
+class TestMcNaughton:
+    def test_latency_formula_example(self):
+        # 3 tasks, delta = 3.22, capacity 2, Acc* = 0.85 -> 4 copies per task,
+        # 12 assignments over capacity 2 -> 6 workers.
+        assert mcnaughton_latency(3, 3.22, 2, 0.85) == 6
+
+    def test_single_task_needs_per_task_copies(self):
+        assert mcnaughton_latency(1, 3.0, 4, 0.5) == 6
+
+    def test_invalid_acc_star_rejected(self):
+        with pytest.raises(ValueError):
+            mcnaughton_latency(1, 1.0, 1, 0.0)
+
+    def test_schedule_is_feasible_and_tight(self):
+        num_tasks, delta, capacity, acc_star = 5, 3.2, 3, 0.6
+        schedule = mcnaughton_schedule(num_tasks, delta, capacity, acc_star)
+        per_task = math.ceil(delta / acc_star)
+        assert len(schedule) == mcnaughton_latency(num_tasks, delta, capacity, acc_star)
+        # Capacity and no-repeat constraints.
+        for tasks in schedule.values():
+            assert len(tasks) <= capacity
+            assert len(set(tasks)) == len(tasks)
+        # Every task is served exactly per_task times.
+        counts = {task_id: 0 for task_id in range(num_tasks)}
+        for tasks in schedule.values():
+            for task_id in tasks:
+                counts[task_id] += 1
+        assert all(count == per_task for count in counts.values())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.5, max_value=6.0),
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    def test_schedule_property(self, num_tasks, delta, capacity, acc_star):
+        schedule = mcnaughton_schedule(num_tasks, delta, capacity, acc_star)
+        per_task = math.ceil(delta / acc_star)
+        counts = {task_id: 0 for task_id in range(num_tasks)}
+        for worker_index, tasks in schedule.items():
+            assert 1 <= worker_index <= len(schedule)
+            assert len(tasks) <= capacity
+            assert len(set(tasks)) == len(tasks)
+            for task_id in tasks:
+                counts[task_id] += 1
+        assert all(count == per_task for count in counts.values())
+        assert len(schedule) == mcnaughton_latency(num_tasks, delta, capacity, acc_star)
+
+    def test_lower_bound_is_consistent_with_perfect_workers(self):
+        """With Acc* = 1 the McNaughton latency is within rounding of the bound."""
+        for num_tasks, delta, capacity in [(10, 3.2, 4), (7, 5.6, 3), (50, 4.0, 6)]:
+            exact = mcnaughton_latency(num_tasks, delta, capacity, 1.0)
+            lower = latency_lower_bound(num_tasks, delta, capacity)
+            assert exact >= lower - 1e-9
+            # Rounding (ceil of delta and of the division) costs at most a
+            # factor ~2 at these sizes.
+            assert exact <= 2 * lower + capacity + 1

@@ -1,0 +1,55 @@
+"""Tests for the solver registry."""
+
+import pytest
+
+from repro.algorithms.base import OfflineSolver, SolveResult
+from repro.algorithms.registry import (
+    DEFAULT_SOLVER_NAMES,
+    available_solvers,
+    get_solver,
+    register_solver,
+)
+
+
+class TestRegistry:
+    def test_paper_algorithms_are_registered(self):
+        for name in DEFAULT_SOLVER_NAMES:
+            solver = get_solver(name)
+            assert solver.name == name
+
+    def test_default_names_match_the_paper_figure_legend(self):
+        assert DEFAULT_SOLVER_NAMES == ["Base-off", "MCF-LTC", "Random", "LAF", "AAM"]
+
+    def test_extra_solvers_available(self):
+        names = available_solvers()
+        assert "Exact" in names
+        assert "LGF-only" in names and "LRF-only" in names
+
+    def test_get_solver_returns_fresh_instances(self):
+        assert get_solver("LAF") is not get_solver("LAF")
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_solver("does-not-exist")
+        assert "known solvers" in str(excinfo.value)
+
+    def test_register_custom_solver_and_overwrite_protection(self):
+        class DummySolver(OfflineSolver):
+            name = "Dummy-test-solver"
+
+            def solve(self, instance):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        register_solver("Dummy-test-solver", DummySolver, overwrite=True)
+        assert "Dummy-test-solver" in available_solvers()
+        with pytest.raises(ValueError):
+            register_solver("Dummy-test-solver", DummySolver)
+        # Clean up so repeated test runs in the same session stay consistent.
+        register_solver("Dummy-test-solver", DummySolver, overwrite=True)
+
+    def test_online_flags(self):
+        assert get_solver("LAF").is_online
+        assert get_solver("AAM").is_online
+        assert get_solver("Random").is_online
+        assert not get_solver("MCF-LTC").is_online
+        assert not get_solver("Base-off").is_online

@@ -1,0 +1,71 @@
+"""Tests for empirical approximation/competitive ratio measurement."""
+
+import pytest
+
+from repro.analysis.ratios import (
+    PROVEN_FACTORS,
+    RatioReport,
+    empirical_ratio_to_lower_bound,
+    empirical_ratios_vs_exact,
+)
+from repro.algorithms.laf import LAFSolver
+
+
+class TestRatiosVsExact:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return empirical_ratios_vs_exact(num_instances=12, seed=5)
+
+    def test_reports_cover_requested_algorithms(self, reports):
+        assert set(reports) == {"MCF-LTC", "LAF", "AAM"}
+
+    def test_most_instances_are_solved(self, reports):
+        for report in reports.values():
+            assert report.instances_solved >= 8
+
+    def test_ratios_are_at_least_one(self, reports):
+        for report in reports.values():
+            if report.ratios.count:
+                assert report.ratios.minimum >= 1.0 - 1e-9
+
+    def test_observed_ratios_respect_the_proven_factors(self, reports):
+        for name, report in reports.items():
+            assert report.within_proven_factor(), (
+                f"{name}: worst ratio {report.worst_ratio} exceeds "
+                f"{PROVEN_FACTORS[name]}"
+            )
+
+    def test_mean_and_worst_are_consistent(self, reports):
+        for report in reports.values():
+            if report.ratios.count:
+                assert report.mean_ratio <= report.worst_ratio + 1e-9
+
+
+class TestRatioToLowerBound:
+    def test_lower_bound_ratio_on_synthetic_instance(self, small_synthetic_instance):
+        report = empirical_ratio_to_lower_bound("AAM", [small_synthetic_instance])
+        assert report.instances_solved == 1
+        assert report.mean_ratio >= 1.0
+
+    def test_accepts_solver_instances(self, small_synthetic_instance):
+        report = empirical_ratio_to_lower_bound(LAFSolver(), [small_synthetic_instance])
+        assert report.algorithm == "LAF"
+        assert report.instances_solved == 1
+
+    def test_incomplete_runs_are_counted_as_skipped(self, tiny_instance):
+        starving = tiny_instance.subset_of_workers(1)
+        report = empirical_ratio_to_lower_bound("LAF", [starving])
+        assert report.instances_skipped == 1
+        assert report.instances_solved == 0
+
+
+class TestRatioReport:
+    def test_empty_report_behaviour(self):
+        report = RatioReport(algorithm="LAF")
+        assert report.within_proven_factor()
+        assert report.instances_solved == 0
+
+    def test_unknown_algorithm_has_no_factor_check(self):
+        report = RatioReport(algorithm="SomethingElse")
+        report.ratios.add(100.0)
+        assert report.within_proven_factor()

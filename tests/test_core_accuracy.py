@@ -1,0 +1,108 @@
+"""Tests for repro.core.accuracy (Definition 3 / Equation 1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.accuracy import (
+    ConstantAccuracy,
+    SigmoidDistanceAccuracy,
+    TabularAccuracy,
+    acc_star,
+)
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+
+
+def worker_at(x, y, accuracy=0.9):
+    return Worker(index=1, location=Point(x, y), accuracy=accuracy, capacity=1)
+
+
+def task_at(x, y):
+    return Task(task_id=0, location=Point(x, y))
+
+
+class TestAccStar:
+    def test_formula(self):
+        assert acc_star(0.96) == pytest.approx((2 * 0.96 - 1) ** 2)
+
+    def test_uninformative_worker_contributes_nothing(self):
+        assert acc_star(0.5) == pytest.approx(0.0)
+
+    def test_perfect_worker_contributes_one(self):
+        assert acc_star(1.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_symmetry_around_half(self, p):
+        assert acc_star(p) == pytest.approx(acc_star(1.0 - p))
+
+
+class TestSigmoidDistanceAccuracy:
+    def test_equation_one_at_given_distance(self):
+        model = SigmoidDistanceAccuracy(d_max=30.0)
+        worker = worker_at(0, 0, accuracy=0.9)
+        task = task_at(20, 0)
+        expected = 0.9 / (1.0 + math.exp(-(30.0 - 20.0)))
+        assert model.accuracy(worker, task) == pytest.approx(expected)
+
+    def test_accuracy_at_d_max_is_half_historical(self):
+        model = SigmoidDistanceAccuracy(d_max=30.0)
+        worker = worker_at(0, 0, accuracy=0.88)
+        task = task_at(30, 0)
+        assert model.accuracy(worker, task) == pytest.approx(0.44)
+
+    def test_close_worker_approaches_historical_accuracy(self):
+        model = SigmoidDistanceAccuracy(d_max=30.0)
+        worker = worker_at(0, 0, accuracy=0.85)
+        assert model.accuracy(worker, task_at(0.0, 0.0)) == pytest.approx(0.85, abs=1e-8)
+
+    def test_distance_monotonically_decreases_accuracy(self):
+        model = SigmoidDistanceAccuracy(d_max=30.0)
+        worker = worker_at(0, 0)
+        accuracies = [model.accuracy(worker, task_at(d, 0)) for d in (0, 10, 20, 30, 40, 60)]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_far_away_worker_does_not_overflow(self):
+        model = SigmoidDistanceAccuracy(d_max=30.0)
+        worker = worker_at(0, 0)
+        assert model.accuracy(worker, task_at(1e6, 0)) == 0.0
+
+    def test_rejects_non_positive_dmax(self):
+        with pytest.raises(ValueError):
+            SigmoidDistanceAccuracy(d_max=0.0)
+
+    def test_voting_weight_and_acc_star(self):
+        model = SigmoidDistanceAccuracy(d_max=30.0)
+        worker = worker_at(0, 0, accuracy=0.9)
+        task = task_at(0, 0)
+        acc = model.accuracy(worker, task)
+        assert model.voting_weight(worker, task) == pytest.approx(2 * acc - 1)
+        assert model.acc_star(worker, task) == pytest.approx((2 * acc - 1) ** 2)
+
+
+class TestConstantAccuracy:
+    def test_constant_everywhere(self):
+        model = ConstantAccuracy(0.8)
+        assert model.accuracy(worker_at(0, 0), task_at(100, 100)) == 0.8
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ConstantAccuracy(1.2)
+
+
+class TestTabularAccuracy:
+    def test_reads_table(self):
+        model = TabularAccuracy({(1, 0): 0.77})
+        assert model.accuracy(worker_at(0, 0), task_at(0, 0)) == 0.77
+
+    def test_falls_back_to_default_then_historical(self):
+        worker = worker_at(0, 0, accuracy=0.91)
+        task = task_at(0, 0)
+        assert TabularAccuracy({}, default=0.7).accuracy(worker, task) == 0.7
+        assert TabularAccuracy({}).accuracy(worker, task) == 0.91
+
+    def test_rejects_out_of_range_entries(self):
+        with pytest.raises(ValueError):
+            TabularAccuracy({(1, 0): 1.5})

@@ -1,0 +1,105 @@
+"""Tests for the NP-hardness reduction gadget (Theorem 1)."""
+
+import math
+
+import pytest
+
+from repro.core.hardness import (
+    REDUCTION_ERROR_RATE,
+    ThreePartitionInstance,
+    arrangement_encodes_partition,
+    ltc_instance_from_three_partition,
+)
+
+
+def yes_instance():
+    """m = 2, B = 100: {26, 33, 41} and {30, 35, 35} both sum to 100."""
+    return ThreePartitionInstance(values=(26, 33, 41, 30, 35, 35))
+
+
+def no_instance():
+    """m = 2, B = 100 with no valid partition into two triples."""
+    return ThreePartitionInstance(values=(26, 26, 26, 37, 40, 45))
+
+
+class TestThreePartitionInstance:
+    def test_basic_properties(self):
+        instance = yes_instance()
+        assert instance.m == 2
+        assert instance.bin_size == 100
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ThreePartitionInstance(values=(30, 30, 40, 50))
+
+    def test_rejects_sum_not_multiple_of_m(self):
+        with pytest.raises(ValueError):
+            ThreePartitionInstance(values=(26, 33, 42, 30, 35, 35))
+
+    def test_rejects_values_outside_quarter_half_window(self):
+        with pytest.raises(ValueError):
+            ThreePartitionInstance(values=(10, 45, 45, 30, 35, 35))
+
+    def test_brute_force_finds_partition_for_yes_instance(self):
+        partition = yes_instance().brute_force_partition()
+        assert partition is not None
+        values = yes_instance().values
+        for triple in partition:
+            assert sum(values[i] for i in triple) == 100
+
+    def test_brute_force_returns_none_for_no_instance(self):
+        assert no_instance().brute_force_partition() is None
+
+
+class TestReduction:
+    def test_reduction_instance_shape(self):
+        instance = ltc_instance_from_three_partition(yes_instance())
+        assert instance.num_tasks == 2
+        assert instance.num_workers == 6
+        assert instance.capacity == 1
+        assert instance.error_rate == pytest.approx(REDUCTION_ERROR_RATE)
+        assert instance.delta == pytest.approx(1.0)
+
+    def test_acc_star_encodes_ratios(self):
+        three_partition = yes_instance()
+        instance = ltc_instance_from_three_partition(three_partition)
+        for worker, value in zip(instance.workers, three_partition.values):
+            for task in instance.tasks:
+                assert instance.acc_star(worker, task) == pytest.approx(value / 100)
+
+    def test_partition_gives_feasible_arrangement_with_all_workers(self):
+        three_partition = yes_instance()
+        instance = ltc_instance_from_three_partition(three_partition)
+        partition = three_partition.brute_force_partition()
+        arrangement = instance.new_arrangement()
+        for task_index, triple in enumerate(partition):
+            for worker_position in triple:
+                arrangement.assign(instance.worker(worker_position + 1),
+                                   instance.task(task_index))
+        assert arrangement.is_complete()
+        assert arrangement.max_latency == 6
+
+    def test_arrangement_decodes_back_to_partition(self):
+        three_partition = yes_instance()
+        instance = ltc_instance_from_three_partition(three_partition)
+        partition = three_partition.brute_force_partition()
+        assignments = [
+            (worker_position + 1, task_index)
+            for task_index, triple in enumerate(partition)
+            for worker_position in triple
+        ]
+        triples = arrangement_encodes_partition(instance, assignments)
+        assert triples is not None
+        values = three_partition.values
+        for triple in triples:
+            assert sum(values[index - 1] for index in triple) == 100
+
+    def test_decoder_rejects_worker_reuse(self):
+        instance = ltc_instance_from_three_partition(yes_instance())
+        assignments = [(1, 0), (1, 1), (2, 0), (3, 0), (4, 1), (5, 1)]
+        assert arrangement_encodes_partition(instance, assignments) is None
+
+    def test_decoder_rejects_wrong_group_sizes(self):
+        instance = ltc_instance_from_three_partition(yes_instance())
+        assignments = [(1, 0), (2, 0), (3, 0), (4, 0), (5, 1), (6, 1)]
+        assert arrangement_encodes_partition(instance, assignments) is None

@@ -1,0 +1,136 @@
+"""Tests for repro.core.instance."""
+
+import math
+
+import pytest
+
+from repro.core.accuracy import ConstantAccuracy
+from repro.core.exceptions import InfeasibleInstanceError
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+
+
+def build_instance(num_tasks=2, num_workers=4, accuracy=0.9, capacity=2,
+                   error_rate=0.2):
+    tasks = [Task(task_id=i, location=Point(i, 0)) for i in range(num_tasks)]
+    workers = [
+        Worker(index=i, location=Point(0, i), accuracy=0.9, capacity=capacity)
+        for i in range(1, num_workers + 1)
+    ]
+    return LTCInstance(
+        tasks=tasks,
+        workers=workers,
+        error_rate=error_rate,
+        accuracy_model=ConstantAccuracy(accuracy),
+    )
+
+
+class TestValidation:
+    def test_requires_tasks_and_workers(self):
+        tasks = [Task.at(0, 0, 0)]
+        workers = [Worker.at(1, 0, 0, accuracy=0.9, capacity=1)]
+        with pytest.raises(ValueError):
+            LTCInstance(tasks=[], workers=workers, error_rate=0.1)
+        with pytest.raises(ValueError):
+            LTCInstance(tasks=tasks, workers=[], error_rate=0.1)
+
+    def test_rejects_bad_error_rate(self):
+        tasks = [Task.at(0, 0, 0)]
+        workers = [Worker.at(1, 0, 0, accuracy=0.9, capacity=1)]
+        with pytest.raises(ValueError):
+            LTCInstance(tasks=tasks, workers=workers, error_rate=1.0)
+
+    def test_rejects_duplicate_task_ids(self):
+        tasks = [Task.at(0, 0, 0), Task.at(0, 1, 0)]
+        workers = [Worker.at(1, 0, 0, accuracy=0.9, capacity=1)]
+        with pytest.raises(ValueError):
+            LTCInstance(tasks=tasks, workers=workers, error_rate=0.1)
+
+    def test_rejects_non_consecutive_worker_indices(self):
+        tasks = [Task.at(0, 0, 0)]
+        workers = [Worker.at(2, 0, 0, accuracy=0.9, capacity=1)]
+        with pytest.raises(ValueError):
+            LTCInstance(tasks=tasks, workers=workers, error_rate=0.1)
+
+    def test_rejects_out_of_order_workers(self):
+        tasks = [Task.at(0, 0, 0)]
+        workers = [
+            Worker.at(2, 0, 0, accuracy=0.9, capacity=1),
+            Worker.at(1, 0, 0, accuracy=0.9, capacity=1),
+        ]
+        with pytest.raises(ValueError):
+            LTCInstance(tasks=tasks, workers=workers, error_rate=0.1)
+
+
+class TestAccessors:
+    def test_delta_matches_quality_threshold(self):
+        instance = build_instance(error_rate=0.2)
+        assert instance.delta == pytest.approx(2 * math.log(5))
+
+    def test_capacity_is_minimum_over_workers(self):
+        tasks = [Task.at(0, 0, 0)]
+        workers = [
+            Worker.at(1, 0, 0, accuracy=0.9, capacity=3),
+            Worker.at(2, 0, 0, accuracy=0.9, capacity=5),
+        ]
+        instance = LTCInstance(tasks=tasks, workers=workers, error_rate=0.1)
+        assert instance.capacity == 3
+
+    def test_lookup_by_id_and_index(self):
+        instance = build_instance()
+        assert instance.task(1).task_id == 1
+        assert instance.worker(2).index == 2
+        assert set(instance.workers_by_index()) == {1, 2, 3, 4}
+
+    def test_counts_and_iteration(self):
+        instance = build_instance(num_tasks=3, num_workers=5)
+        assert instance.num_tasks == 3
+        assert instance.num_workers == 5
+        assert [w.index for w in instance.iter_workers()] == [1, 2, 3, 4, 5]
+
+    def test_acc_and_acc_star(self):
+        instance = build_instance(accuracy=0.9)
+        worker = instance.worker(1)
+        task = instance.task(0)
+        assert instance.acc(worker, task) == pytest.approx(0.9)
+        assert instance.acc_star(worker, task) == pytest.approx(0.64)
+
+    def test_describe_contains_headline_fields(self):
+        described = build_instance().describe()
+        assert described["num_tasks"] == 2
+        assert described["num_workers"] == 4
+        assert "delta" in described
+
+
+class TestUtilities:
+    def test_new_arrangement_is_bound_to_instance(self):
+        instance = build_instance()
+        arrangement = instance.new_arrangement()
+        assert arrangement.delta == pytest.approx(instance.delta)
+        arrangement.assign(instance.worker(1), instance.task(0))
+        assert len(instance.new_arrangement()) == 0
+
+    def test_subset_of_workers(self):
+        instance = build_instance(num_workers=4)
+        subset = instance.subset_of_workers(2)
+        assert subset.num_workers == 2
+        assert subset.num_tasks == instance.num_tasks
+        with pytest.raises(ValueError):
+            instance.subset_of_workers(0)
+        with pytest.raises(ValueError):
+            instance.subset_of_workers(99)
+
+    def test_total_available_acc_star(self):
+        instance = build_instance(num_tasks=2, num_workers=3, accuracy=0.9, capacity=2)
+        assert instance.total_available_acc_star() == pytest.approx(3 * 2 * 0.64)
+
+    def test_check_feasibility_passes_for_feasible_instance(self):
+        instance = build_instance(num_workers=8, error_rate=0.2)
+        instance.check_feasibility()
+
+    def test_check_feasibility_raises_for_starved_instance(self):
+        instance = build_instance(num_tasks=4, num_workers=1, capacity=1, error_rate=0.05)
+        with pytest.raises(InfeasibleInstanceError):
+            instance.check_feasibility()

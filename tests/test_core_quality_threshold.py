@@ -1,0 +1,55 @@
+"""Tests for repro.core.quality_threshold (the Hoeffding threshold delta)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quality_threshold import (
+    MIN_ACC_STAR,
+    MIN_WORKER_ACCURACY,
+    error_rate_for_threshold,
+    quality_threshold,
+)
+
+
+class TestQualityThreshold:
+    def test_paper_example_value(self):
+        """Example 2: epsilon = 0.2 gives delta = 2 ln 5 ~= 3.22."""
+        assert quality_threshold(0.2) == pytest.approx(2 * math.log(5), abs=1e-9)
+        assert quality_threshold(0.2) == pytest.approx(3.22, abs=0.01)
+
+    def test_reduction_value(self):
+        """Theorem 1 uses epsilon = e^-0.5 so that delta = 1."""
+        assert quality_threshold(math.exp(-0.5)) == pytest.approx(1.0)
+
+    def test_stricter_error_rate_needs_more_quality(self):
+        assert quality_threshold(0.06) > quality_threshold(0.22)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_out_of_range_error_rates(self, bad):
+        with pytest.raises(ValueError):
+            quality_threshold(bad)
+
+    def test_error_rate_for_threshold_inverts(self):
+        for eps in (0.06, 0.1, 0.14, 0.18, 0.22):
+            assert error_rate_for_threshold(quality_threshold(eps)) == pytest.approx(eps)
+
+    def test_error_rate_for_threshold_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            error_rate_for_threshold(0.0)
+
+    @given(st.floats(min_value=1e-6, max_value=0.999))
+    def test_round_trip_property(self, eps):
+        assert error_rate_for_threshold(quality_threshold(eps)) == pytest.approx(eps, rel=1e-9)
+
+
+class TestConstants:
+    def test_spam_threshold_matches_paper(self):
+        assert MIN_WORKER_ACCURACY == pytest.approx(0.66)
+
+    def test_min_acc_star_is_consistent_with_spam_threshold(self):
+        """(2 * 0.66 - 1)^2 = 0.1024 > 0.1, the floor used in Theorem 2."""
+        exact = (2 * MIN_WORKER_ACCURACY - 1) ** 2
+        assert exact > MIN_ACC_STAR
+        assert MIN_ACC_STAR == pytest.approx(0.1)

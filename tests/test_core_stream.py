@@ -1,0 +1,56 @@
+"""Tests for repro.core.stream (the online temporal constraint)."""
+
+import pytest
+
+from repro.core.stream import WorkerStream
+from repro.core.worker import Worker
+from repro.geo.point import Point
+
+
+def workers(count):
+    return [
+        Worker(index=i, location=Point(0, 0), accuracy=0.9, capacity=1)
+        for i in range(1, count + 1)
+    ]
+
+
+class TestWorkerStream:
+    def test_iterates_in_arrival_order(self):
+        stream = WorkerStream(workers(3))
+        assert [w.index for w in stream] == [1, 2, 3]
+
+    def test_next_worker_and_exhaustion(self):
+        stream = WorkerStream(workers(2))
+        assert stream.next_worker().index == 1
+        assert stream.consumed == 1
+        assert stream.remaining == 1
+        assert not stream.exhausted
+        assert stream.next_worker().index == 2
+        assert stream.exhausted
+        assert stream.next_worker() is None
+
+    def test_len(self):
+        assert len(WorkerStream(workers(5))) == 5
+
+    def test_rejects_out_of_order_workers(self):
+        bad = list(reversed(workers(3)))
+        with pytest.raises(ValueError):
+            WorkerStream(bad)
+
+    def test_rejects_gapped_indices(self):
+        gapped = [workers(3)[0], workers(3)[2]]
+        with pytest.raises(ValueError):
+            WorkerStream(gapped)
+
+    def test_restart_returns_fresh_stream(self):
+        stream = WorkerStream(workers(2))
+        list(stream)
+        assert stream.exhausted
+        fresh = stream.restart()
+        assert not fresh.exhausted
+        assert [w.index for w in fresh] == [1, 2]
+
+    def test_empty_stream(self):
+        stream = WorkerStream([])
+        assert stream.exhausted
+        assert list(stream) == []

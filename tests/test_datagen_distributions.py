@@ -1,0 +1,54 @@
+"""Tests for repro.datagen.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality_threshold import MIN_WORKER_ACCURACY
+from repro.datagen.distributions import NormalAccuracy, UniformAccuracy
+
+
+class TestNormalAccuracy:
+    def test_samples_are_clipped_to_valid_range(self):
+        dist = NormalAccuracy(mean=0.70, stddev=0.2)
+        samples = dist.sample(np.random.default_rng(0), 5000)
+        assert samples.min() >= MIN_WORKER_ACCURACY
+        assert samples.max() <= 1.0
+
+    def test_mean_is_respected_when_far_from_bounds(self):
+        dist = NormalAccuracy(mean=0.86, stddev=0.05)
+        samples = dist.sample(np.random.default_rng(1), 20000)
+        assert samples.mean() == pytest.approx(0.86, abs=0.01)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NormalAccuracy(mean=0.5)
+        with pytest.raises(ValueError):
+            NormalAccuracy(mean=0.9, stddev=0.0)
+
+    def test_table_iv_means_are_valid(self):
+        for mean in (0.82, 0.84, 0.86, 0.88, 0.90):
+            NormalAccuracy(mean=mean, stddev=0.05)
+
+
+class TestUniformAccuracy:
+    def test_samples_within_interval(self):
+        dist = UniformAccuracy(mean=0.86, half_width=0.08)
+        samples = dist.sample(np.random.default_rng(2), 5000)
+        assert samples.min() >= max(MIN_WORKER_ACCURACY, 0.86 - 0.08) - 1e-9
+        assert samples.max() <= min(1.0, 0.86 + 0.08) + 1e-9
+
+    def test_mean_matches_configuration(self):
+        dist = UniformAccuracy(mean=0.84)
+        samples = dist.sample(np.random.default_rng(3), 20000)
+        assert samples.mean() == pytest.approx(0.84, abs=0.01)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            UniformAccuracy(mean=0.3)
+        with pytest.raises(ValueError):
+            UniformAccuracy(mean=0.86, half_width=0.0)
+
+    def test_clipping_near_one(self):
+        dist = UniformAccuracy(mean=0.98, half_width=0.08)
+        samples = dist.sample(np.random.default_rng(4), 1000)
+        assert samples.max() <= 1.0

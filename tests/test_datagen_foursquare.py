@@ -1,0 +1,112 @@
+"""Tests for the Foursquare-like check-in generator (Table V substitution)."""
+
+import pytest
+
+from repro.core.candidates import CandidateFinder
+from repro.datagen.foursquare import (
+    NEW_YORK,
+    TOKYO,
+    CheckinCityConfig,
+    generate_checkin_instance,
+)
+from repro.geo.hull import convex_hull, point_in_convex_polygon
+
+
+def small_city(**overrides):
+    defaults = dict(
+        city="Testville", num_tasks=24, num_workers=900, capacity=6,
+        error_rate=0.14, region_size=400.0, seed=3,
+    )
+    defaults.update(overrides)
+    return CheckinCityConfig(**defaults)
+
+
+class TestConfig:
+    def test_table_v_cardinalities(self):
+        assert NEW_YORK.num_tasks == 3717
+        assert NEW_YORK.num_workers == 227428
+        assert TOKYO.num_tasks == 9317
+        assert TOKYO.num_workers == 573703
+        assert NEW_YORK.capacity == TOKYO.capacity == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_city(num_tasks=0)
+        with pytest.raises(ValueError):
+            small_city(error_rate=0.0)
+        with pytest.raises(ValueError):
+            small_city(hotspot_spread=0.0)
+
+    def test_resolved_hotspots_derived_from_tasks(self):
+        config = small_city(num_tasks=60, capacity=6)
+        assert config.resolved_num_hotspots() == 5
+        assert small_city(num_hotspots=11).resolved_num_hotspots() == 11
+
+    def test_scaled_preserves_ratio_and_shrinks_region(self):
+        scaled = NEW_YORK.scaled(0.01)
+        assert scaled.num_tasks == 37
+        assert scaled.num_workers == 2274
+        assert scaled.region_size < NEW_YORK.region_size
+        with pytest.raises(ValueError):
+            NEW_YORK.scaled(0.0)
+        with pytest.raises(ValueError):
+            NEW_YORK.scaled(1.5)
+
+
+class TestGeneratedStream:
+    def test_cardinalities(self):
+        config = small_city()
+        instance = generate_checkin_instance(config)
+        assert instance.num_tasks == config.num_tasks
+        assert instance.num_workers == config.num_workers
+
+    def test_arrival_times_are_chronological(self):
+        instance = generate_checkin_instance(small_city())
+        times = [worker.arrival_time for worker in instance.workers]
+        assert times == sorted(times)
+
+    def test_workers_inside_region(self):
+        config = small_city()
+        instance = generate_checkin_instance(config)
+        for worker in instance.workers:
+            assert 0 <= worker.location.x <= config.region_size
+            assert 0 <= worker.location.y <= config.region_size
+
+    def test_tasks_lie_inside_the_checkin_hull(self):
+        config = small_city()
+        instance = generate_checkin_instance(config)
+        hull = convex_hull([w.location for w in instance.workers])
+        inside = sum(
+            1 for task in instance.tasks if point_in_convex_polygon(task.location, hull)
+        )
+        # Allow a small number of fallback placements on the hull border.
+        assert inside >= int(0.9 * instance.num_tasks)
+
+    def test_deterministic_given_seed(self):
+        first = generate_checkin_instance(small_city(seed=5))
+        second = generate_checkin_instance(small_city(seed=5))
+        assert [t.location for t in first.tasks] == [t.location for t in second.tasks]
+        assert [w.location for w in first.workers] == [w.location for w in second.workers]
+
+    def test_tasks_have_eligible_workers(self):
+        config = small_city()
+        instance = generate_checkin_instance(config)
+        finder = CandidateFinder(instance)
+        counts = finder.candidate_count_per_task()
+        assert min(counts.values()) >= 1
+
+    def test_activity_is_skewed_across_hotspots(self):
+        """The most popular neighbourhood should see far more check-ins."""
+        config = small_city(num_workers=2000)
+        instance = generate_checkin_instance(config)
+        by_hotspot: dict[int, int] = {}
+        for worker in instance.workers:
+            hotspot = worker.metadata["hotspot"]
+            by_hotspot[hotspot] = by_hotspot.get(hotspot, 0) + 1
+        counts = sorted(by_hotspot.values(), reverse=True)
+        assert counts[0] >= 3 * counts[-1]
+
+    def test_city_metadata_recorded(self):
+        instance = generate_checkin_instance(small_city())
+        assert instance.tasks[0].metadata["city"] == "Testville"
+        assert instance.name == "checkins-testville"

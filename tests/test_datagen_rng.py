@@ -1,0 +1,37 @@
+"""Tests for repro.datagen.rng."""
+
+import numpy as np
+
+from repro.datagen.rng import derive_seed, generator_for
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_change_the_seed(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a", 1) != derive_seed(1, "a", 2)
+
+    def test_root_seed_changes_the_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_result_fits_in_63_bits(self):
+        for labels in (("x",), ("x", 1, 2.5), ()):
+            seed = derive_seed(7, *labels)
+            assert 0 <= seed < 2**63
+
+
+class TestGeneratorFor:
+    def test_same_labels_same_stream(self):
+        a = generator_for(3, "workers").random(5)
+        b = generator_for(3, "workers").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_labels_different_streams(self):
+        a = generator_for(3, "workers").random(5)
+        b = generator_for(3, "tasks").random(5)
+        assert not np.allclose(a, b)

@@ -1,0 +1,137 @@
+"""Edge-case and failure-injection tests across the solver stack.
+
+These cover the awkward inputs a production library must survive: instances
+that cannot be completed, workers with no eligible tasks, single-task /
+single-worker extremes, very strict and very loose error rates, and partial
+worker streams.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.registry import DEFAULT_SOLVER_NAMES, get_solver
+from repro.core.accuracy import ConstantAccuracy, SigmoidDistanceAccuracy, TabularAccuracy
+from repro.core.instance import LTCInstance
+from repro.core.stream import WorkerStream
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+
+
+def instance_with(tasks, workers, error_rate=0.2, model=None):
+    return LTCInstance(
+        tasks=tasks, workers=workers, error_rate=error_rate,
+        accuracy_model=model or ConstantAccuracy(0.9),
+    )
+
+
+class TestInfeasibleInstances:
+    @pytest.mark.parametrize("name", DEFAULT_SOLVER_NAMES)
+    def test_solvers_report_incompletion_gracefully(self, name):
+        """Not enough workers: solvers must end with completed=False, not hang."""
+        tasks = [Task.at(i, float(i), 0.0) for i in range(4)]
+        workers = [Worker.at(1, 0, 0, accuracy=0.9, capacity=2),
+                   Worker.at(2, 0, 0, accuracy=0.9, capacity=2)]
+        instance = instance_with(tasks, workers, error_rate=0.05)
+        result = get_solver(name).solve(instance)
+        assert not result.completed
+        assert result.max_latency <= 2
+        # Even partial arrangements must respect capacity and uniqueness.
+        pairs = [a.as_tuple() for a in result.arrangement]
+        assert len(pairs) == len(set(pairs))
+
+    @pytest.mark.parametrize("name", ["LAF", "AAM", "Random"])
+    def test_online_solvers_consume_the_whole_stream_when_incomplete(self, name):
+        tasks = [Task.at(0, 0.0, 0.0)]
+        workers = [Worker.at(i, 0, 0, accuracy=0.9, capacity=1) for i in (1, 2)]
+        instance = instance_with(tasks, workers, error_rate=0.01)
+        result = get_solver(name).solve(instance)
+        assert not result.completed
+        assert result.workers_observed == instance.num_workers
+
+
+class TestWorkersWithNoEligibleTasks:
+    @pytest.mark.parametrize("name", DEFAULT_SOLVER_NAMES)
+    def test_far_away_workers_are_skipped(self, name):
+        """Workers outside every task's eligibility radius get no assignment."""
+        tasks = [Task.at(0, 0.0, 0.0)]
+        workers = (
+            [Worker.at(1, 500.0, 500.0, accuracy=0.9, capacity=3)]
+            + [Worker.at(i, 0.0, 0.0, accuracy=0.9, capacity=3) for i in range(2, 8)]
+        )
+        instance = instance_with(tasks, workers, error_rate=0.2,
+                                 model=SigmoidDistanceAccuracy(d_max=30.0))
+        result = get_solver(name).solve(instance)
+        assert result.completed
+        assert all(a.worker_index != 1 for a in result.arrangement)
+
+
+class TestExtremes:
+    @pytest.mark.parametrize("name", DEFAULT_SOLVER_NAMES)
+    def test_single_task_single_capable_worker(self, name):
+        tasks = [Task.at(0, 0.0, 0.0)]
+        workers = [Worker.at(1, 0.0, 0.0, accuracy=0.99, capacity=1)]
+        # delta below Acc*(0.99) = 0.96: one answer suffices.
+        instance = instance_with(tasks, workers, error_rate=0.62,
+                                 model=ConstantAccuracy(0.99))
+        result = get_solver(name).solve(instance)
+        assert result.completed
+        assert result.max_latency == 1
+
+    @pytest.mark.parametrize("name", ["LAF", "AAM", "MCF-LTC"])
+    def test_very_strict_error_rate(self, name):
+        """epsilon = 0.01 -> delta ~= 9.2 needs ~11 good answers per task."""
+        tasks = [Task.at(0, 0.0, 0.0)]
+        workers = [Worker.at(i, 0, 0, accuracy=0.95, capacity=1) for i in range(1, 16)]
+        instance = instance_with(tasks, workers, error_rate=0.01,
+                                 model=ConstantAccuracy(0.95))
+        result = get_solver(name).solve(instance)
+        assert result.completed
+        needed = math.ceil(instance.delta / (2 * 0.95 - 1) ** 2)
+        assert result.max_latency == needed
+
+    @pytest.mark.parametrize("name", DEFAULT_SOLVER_NAMES)
+    def test_capacity_larger_than_task_count(self, name):
+        tasks = [Task.at(i, float(i), 0.0) for i in range(2)]
+        workers = [Worker.at(i, 0, 0, accuracy=0.95, capacity=10) for i in range(1, 8)]
+        instance = instance_with(tasks, workers, error_rate=0.2,
+                                 model=ConstantAccuracy(0.95))
+        result = get_solver(name).solve(instance)
+        assert result.completed
+        for assignment_count in _loads(result).values():
+            assert assignment_count <= 2  # never more tasks than exist
+
+    @pytest.mark.parametrize("name", ["LAF", "AAM"])
+    def test_heterogeneous_capacities(self, name):
+        """Workers may have different capacities; each one's own limit binds."""
+        table = {(w, t): 0.9 for w in range(1, 5) for t in range(3)}
+        tasks = [Task.at(i, float(i), 0.0) for i in range(3)]
+        workers = [
+            Worker.at(1, 0, 0, accuracy=0.9, capacity=1),
+            Worker.at(2, 0, 0, accuracy=0.9, capacity=3),
+            Worker.at(3, 0, 0, accuracy=0.9, capacity=2),
+            Worker.at(4, 0, 0, accuracy=0.9, capacity=3),
+        ]
+        instance = LTCInstance(tasks=tasks, workers=workers, error_rate=0.45,
+                               accuracy_model=TabularAccuracy(table))
+        result = get_solver(name).solve(instance)
+        loads = _loads(result)
+        for worker in workers:
+            assert loads.get(worker.index, 0) <= worker.capacity
+
+
+class TestPartialStreams:
+    def test_online_solver_with_truncated_stream(self, small_synthetic_instance):
+        solver = get_solver("AAM")
+        stream = WorkerStream(small_synthetic_instance.workers[:50])
+        result = solver.solve(small_synthetic_instance, stream=stream)
+        assert result.workers_observed <= 50
+        assert result.max_latency <= 50
+
+
+def _loads(result):
+    loads: dict[int, int] = {}
+    for assignment in result.arrangement:
+        loads[assignment.worker_index] = loads.get(assignment.worker_index, 0) + 1
+    return loads

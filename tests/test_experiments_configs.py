@@ -1,0 +1,103 @@
+"""Tests for the per-figure experiment definitions."""
+
+import pytest
+
+from repro.experiments.configs import (
+    EXPERIMENTS,
+    PAPER_ACCURACY_SWEEP,
+    PAPER_CAPACITY_SWEEP,
+    PAPER_ERROR_SWEEP,
+    PAPER_TASK_SWEEP,
+    get_experiment,
+    list_experiments,
+)
+
+
+class TestRegistry:
+    def test_every_figure_column_has_an_experiment(self):
+        expected = {
+            "fig3_tasks", "fig3_capacity", "fig3_accuracy_normal",
+            "fig3_accuracy_uniform", "fig4_epsilon", "fig4_scalability",
+            "fig4_newyork", "fig4_tokyo", "ablation_batch_size",
+            "ablation_aam_switch",
+        }
+        assert expected <= set(list_experiments())
+
+    def test_get_experiment_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99_nothing")
+
+    def test_sweeps_match_table_iv(self):
+        assert list(get_experiment("fig3_tasks").sweep_values) == PAPER_TASK_SWEEP
+        assert list(get_experiment("fig3_capacity").sweep_values) == PAPER_CAPACITY_SWEEP
+        assert list(get_experiment("fig3_accuracy_normal").sweep_values) == PAPER_ACCURACY_SWEEP
+        assert list(get_experiment("fig4_epsilon").sweep_values) == PAPER_ERROR_SWEEP
+
+    def test_default_algorithms_are_the_papers_five(self):
+        for experiment_id in ("fig3_tasks", "fig4_epsilon", "fig4_newyork"):
+            definition = get_experiment(experiment_id)
+            assert list(definition.algorithms) == [
+                "Base-off", "MCF-LTC", "Random", "LAF", "AAM",
+            ]
+
+    def test_every_definition_documents_its_figure(self):
+        for definition in EXPERIMENTS.values():
+            assert definition.figure_panels
+            assert definition.description
+
+
+class TestInstanceFactories:
+    def test_fig3_tasks_scales_task_count_with_sweep_value(self):
+        definition = get_experiment("fig3_tasks")
+        factory = definition.instance_factory(scale=0.01)
+        small = factory(1000, 0)
+        large = factory(5000, 0)
+        assert small.num_tasks == 10
+        assert large.num_tasks == 50
+        assert small.num_workers == large.num_workers == 400
+
+    def test_fig3_capacity_sets_worker_capacity(self):
+        definition = get_experiment("fig3_capacity")
+        factory = definition.instance_factory(scale=0.01)
+        instance = factory(4, 0)
+        assert instance.capacity == 4
+
+    def test_fig4_epsilon_keeps_placement_fixed_across_sweep(self):
+        definition = get_experiment("fig4_epsilon")
+        factory = definition.instance_factory(scale=0.01)
+        strict = factory(0.06, 0)
+        loose = factory(0.22, 0)
+        assert strict.error_rate == 0.06 and loose.error_rate == 0.22
+
+    def test_fig3_accuracy_normal_changes_worker_accuracy(self):
+        definition = get_experiment("fig3_accuracy_normal")
+        factory = definition.instance_factory(scale=0.01)
+        low = factory(0.82, 0)
+        high = factory(0.90, 0)
+        mean_low = sum(w.accuracy for w in low.workers) / low.num_workers
+        mean_high = sum(w.accuracy for w in high.workers) / high.num_workers
+        assert mean_low < mean_high
+
+    def test_repetitions_use_different_seeds(self):
+        definition = get_experiment("fig3_tasks")
+        factory = definition.instance_factory(scale=0.01)
+        first = factory(1000, 0)
+        second = factory(1000, 1)
+        assert [w.location for w in first.workers] != [w.location for w in second.workers]
+
+    def test_checkin_experiments_build_city_streams(self):
+        definition = get_experiment("fig4_newyork")
+        factory = definition.instance_factory(scale=0.005)
+        instance = factory(0.14, 0)
+        assert instance.name.startswith("checkins-new-york")
+        assert instance.num_tasks == 18
+
+    def test_build_runner_uses_defaults_and_overrides(self):
+        definition = get_experiment("fig3_tasks")
+        runner = definition.build_runner()
+        assert runner.repetitions == definition.default_repetitions
+        assert list(runner.sweep_values) == PAPER_TASK_SWEEP
+        custom = definition.build_runner(repetitions=1, sweep_values=[1000],
+                                         algorithms=["LAF"], track_memory=False)
+        assert custom.repetitions == 1
+        assert custom.algorithms == ["LAF"]

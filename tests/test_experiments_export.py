@@ -1,0 +1,91 @@
+"""Tests for CSV/JSON export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import export_json, write_records_csv, write_series_csv
+from repro.simulation.results import ExperimentRecord, ResultTable
+
+
+@pytest.fixture
+def demo_table():
+    table = ResultTable("fig_demo", "|T|")
+    for value in (10.0, 20.0):
+        for algorithm, latency in (("LAF", 120.0), ("AAM", 100.0)):
+            table.add(ExperimentRecord(
+                experiment_id="fig_demo",
+                sweep_parameter="|T|",
+                sweep_value=value,
+                algorithm=algorithm,
+                repetition=0,
+                max_latency=latency + value,
+                completed=True,
+                runtime_seconds=0.5,
+                peak_memory_mb=3.25,
+            ))
+    return table
+
+
+class TestCSVExport:
+    def test_records_csv_round_trip(self, demo_table, tmp_path):
+        path = write_records_csv(demo_table, tmp_path / "records.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert rows[0]["algorithm"] == "LAF"
+        assert float(rows[0]["max_latency"]) == pytest.approx(130.0)
+
+    def test_records_csv_rejects_empty_table(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_records_csv(ResultTable("fig_demo", "|T|"), tmp_path / "empty.csv")
+
+    def test_series_csv_contains_means_per_cell(self, demo_table, tmp_path):
+        path = write_series_csv(demo_table, tmp_path / "series.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4  # 2 algorithms x 2 sweep values
+        lookup = {(row["algorithm"], row["|T|"]): row for row in rows}
+        assert float(lookup[("AAM", "10.0")]["max_latency"]) == pytest.approx(110.0)
+        assert float(lookup[("LAF", "20.0")]["runtime_seconds"]) == pytest.approx(0.5)
+
+    def test_directories_are_created(self, demo_table, tmp_path):
+        nested = tmp_path / "deep" / "dir" / "out.csv"
+        write_series_csv(demo_table, nested)
+        assert nested.exists()
+
+
+class TestJSONExport:
+    def test_json_document_structure(self, demo_table, tmp_path):
+        path = export_json(demo_table, tmp_path / "out.json")
+        document = json.loads(path.read_text())
+        assert document["experiment_id"] == "fig_demo"
+        assert document["completion_rate"] == 1.0
+        assert len(document["records"]) == 4
+        series = document["series"]["max_latency"]
+        assert series["AAM"] == [[10.0, 110.0], [20.0, 120.0]]
+
+    def test_json_metrics_subset(self, demo_table, tmp_path):
+        path = export_json(demo_table, tmp_path / "out.json", metrics=["max_latency"])
+        document = json.loads(path.read_text())
+        assert list(document["series"].keys()) == ["max_latency"]
+
+
+class TestCLIExportFlags:
+    def test_cli_writes_csv_and_json(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        csv_path = tmp_path / "series.csv"
+        json_path = tmp_path / "out.json"
+        exit_code = main([
+            "fig3_tasks", "--scale", "0.004", "--repetitions", "1",
+            "--algorithms", "LAF", "--no-memory", "--quiet",
+            "--csv", str(csv_path),
+            "--json", str(json_path),
+        ])
+        assert exit_code == 0
+        assert csv_path.exists()
+        assert json_path.exists()
+        output = capsys.readouterr().out
+        assert "wrote" in output

@@ -1,0 +1,72 @@
+"""Tests for the textual experiment report rendering."""
+
+from repro.experiments.report import render_series, render_summary, render_table
+from repro.simulation.results import ExperimentRecord, ResultTable
+
+
+def small_table():
+    table = ResultTable("fig_demo", "|T|")
+    for value in (10.0, 20.0):
+        for algorithm, latency in (("LAF", 100.0), ("AAM", 90.0)):
+            table.add(ExperimentRecord(
+                experiment_id="fig_demo",
+                sweep_parameter="|T|",
+                sweep_value=value,
+                algorithm=algorithm,
+                repetition=0,
+                max_latency=latency + value,
+                completed=True,
+                runtime_seconds=0.25,
+                peak_memory_mb=12.5,
+            ))
+    return table
+
+
+class TestRenderSeries:
+    def test_contains_header_algorithms_and_values(self):
+        text = render_series(small_table(), "max_latency")
+        assert "fig_demo" in text
+        assert "LAF" in text and "AAM" in text
+        assert "10" in text and "20" in text
+        assert "110" in text  # LAF at |T| = 10
+
+    def test_runtime_formatting(self):
+        text = render_series(small_table(), "runtime_seconds")
+        assert "0.250" in text
+
+    def test_memory_formatting(self):
+        text = render_series(small_table(), "peak_memory_mb")
+        assert "12.50" in text
+
+    def test_missing_cells_render_as_dash(self):
+        table = ResultTable("fig_demo", "|T|")
+        table.add(ExperimentRecord(
+            experiment_id="fig_demo", sweep_parameter="|T|", sweep_value=10.0,
+            algorithm="LAF", repetition=0, max_latency=5.0, completed=True,
+            runtime_seconds=0.1, peak_memory_mb=1.0,
+        ))
+        table.add(ExperimentRecord(
+            experiment_id="fig_demo", sweep_parameter="|T|", sweep_value=20.0,
+            algorithm="AAM", repetition=0, max_latency=6.0, completed=True,
+            runtime_seconds=0.1, peak_memory_mb=1.0,
+        ))
+        text = render_series(table, "max_latency")
+        assert "-" in text
+
+
+class TestRenderTableAndSummary:
+    def test_render_table_includes_all_three_panels(self):
+        text = render_table(small_table())
+        assert "Max index of worker" in text
+        assert "Running time" in text
+        assert "Peak memory" in text
+
+    def test_render_table_with_custom_metrics(self):
+        text = render_table(small_table(), metrics=["max_latency"])
+        assert "Running time" not in text
+
+    def test_render_summary_orders_by_experiment_id(self):
+        tables = {"b_exp": small_table(), "a_exp": small_table()}
+        tables["b_exp"].experiment_id = "fig_demo"
+        text = render_summary({"a": small_table(), "b": small_table()})
+        assert text.index("=== a ===") < text.index("=== b ===")

@@ -1,0 +1,102 @@
+"""Tests for repro.flow.network."""
+
+import pytest
+
+from repro.flow.network import FlowNetwork
+
+
+class TestEdgeCreation:
+    def test_add_edge_creates_residual_twin(self):
+        network = FlowNetwork()
+        edge = network.add_edge("a", "b", capacity=3, cost=2.5)
+        twin = edge.twin
+        assert twin.tail == "b" and twin.head == "a"
+        assert twin.capacity == 0
+        assert twin.cost == -2.5
+        assert twin.is_residual
+        assert twin.twin is edge
+
+    def test_rejects_negative_or_fractional_capacity(self):
+        network = FlowNetwork()
+        with pytest.raises(ValueError):
+            network.add_edge("a", "b", capacity=-1, cost=0.0)
+        with pytest.raises(ValueError):
+            network.add_edge("a", "b", capacity=1.5, cost=0.0)
+
+    def test_nodes_registered_automatically(self):
+        network = FlowNetwork()
+        network.add_edge("a", "b", 1, 0.0)
+        assert "a" in network and "b" in network
+        assert len(network) == 2
+
+    def test_add_node_is_idempotent(self):
+        network = FlowNetwork()
+        network.add_node("x")
+        network.add_node("x")
+        assert network.nodes == ["x"]
+
+
+class TestFlowManipulation:
+    def test_push_updates_residual_capacities(self):
+        network = FlowNetwork()
+        edge = network.add_edge("a", "b", 5, 1.0)
+        edge.push(3)
+        assert edge.flow == 3
+        assert edge.residual_capacity == 2
+        assert edge.twin.residual_capacity == 3
+
+    def test_push_beyond_capacity_rejected(self):
+        network = FlowNetwork()
+        edge = network.add_edge("a", "b", 2, 1.0)
+        with pytest.raises(ValueError):
+            edge.push(3)
+        with pytest.raises(ValueError):
+            edge.push(-1)
+
+    def test_push_on_residual_edge_cancels_flow(self):
+        network = FlowNetwork()
+        edge = network.add_edge("a", "b", 2, 1.0)
+        edge.push(2)
+        edge.twin.push(1)
+        assert edge.flow == 1
+
+    def test_total_cost_counts_forward_edges_only(self):
+        network = FlowNetwork()
+        e1 = network.add_edge("s", "a", 2, 3.0)
+        e2 = network.add_edge("a", "t", 2, -1.0)
+        e1.push(2)
+        e2.push(1)
+        assert network.total_cost() == pytest.approx(2 * 3.0 + 1 * -1.0)
+
+    def test_outflow(self):
+        network = FlowNetwork()
+        e1 = network.add_edge("s", "a", 2, 0.0)
+        e2 = network.add_edge("a", "t", 2, 0.0)
+        e1.push(2)
+        e2.push(2)
+        assert network.outflow("s") == 2
+        assert network.outflow("a") == 0
+        assert network.outflow("t") == -2
+
+    def test_reset_flow(self):
+        network = FlowNetwork()
+        edge = network.add_edge("a", "b", 2, 0.0)
+        edge.push(2)
+        network.reset_flow()
+        assert edge.flow == 0
+        assert edge.twin.flow == 0
+
+    def test_forward_edges_iteration(self):
+        network = FlowNetwork()
+        network.add_edge("a", "b", 1, 0.0)
+        network.add_edge("b", "c", 1, 0.0)
+        forwards = list(network.forward_edges())
+        assert len(forwards) == 2
+        assert all(not edge.is_residual for edge in forwards)
+
+    def test_edge_without_twin_raises(self):
+        from repro.flow.network import Edge
+
+        orphan = Edge(head="b", tail="a", capacity=1, cost=0.0)
+        with pytest.raises(RuntimeError):
+            _ = orphan.twin

@@ -1,0 +1,175 @@
+"""Tests for the Successive Shortest Path min-cost-flow solver.
+
+Correctness is checked three ways: hand-computed small networks, validation
+of flow feasibility, and comparison against ``networkx``'s min_cost_flow on
+randomly generated integer-cost networks (networkx requires integer costs,
+so the random networks use integers; the LTC reduction's real-valued costs
+are covered by the bipartite assignment tests below and by the algorithm
+tests).
+"""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flow.exceptions import InfeasibleFlowError
+from repro.flow.network import FlowNetwork
+from repro.flow.sspa import min_cost_flow, successive_shortest_paths
+from repro.flow.validate import validate_flow
+
+
+def simple_diamond():
+    """s -> {a, b} -> t with different costs."""
+    network = FlowNetwork()
+    network.add_edge("s", "a", 2, 1.0)
+    network.add_edge("s", "b", 2, 2.0)
+    network.add_edge("a", "t", 2, 1.0)
+    network.add_edge("b", "t", 2, 1.0)
+    return network
+
+
+class TestSmallNetworks:
+    def test_routes_max_flow_on_diamond(self):
+        network = simple_diamond()
+        result = successive_shortest_paths(network, "s", "t")
+        assert result.flow_value == 4
+        assert result.total_cost == pytest.approx(2 * 2.0 + 2 * 3.0)
+        assert not validate_flow(network, "s", "t", expected_value=4)
+
+    def test_respects_max_flow_limit_and_prefers_cheap_path(self):
+        network = simple_diamond()
+        result = successive_shortest_paths(network, "s", "t", max_flow=2)
+        assert result.flow_value == 2
+        # Both units should use the cheaper s->a->t path (cost 2 each).
+        assert result.total_cost == pytest.approx(4.0)
+        assert result.flow_on("s", "a") == 2
+        assert result.flow_on("s", "b") == 0
+
+    def test_negative_costs_are_handled(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 1, 0.0)
+        network.add_edge("s", "b", 1, 0.0)
+        network.add_edge("a", "t", 1, -5.0)
+        network.add_edge("b", "t", 1, -1.0)
+        result = successive_shortest_paths(network, "s", "t", max_flow=1)
+        assert result.flow_on("a", "t") == 1
+        assert result.total_cost == pytest.approx(-5.0)
+
+    def test_disconnected_sink_routes_nothing(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 1, 1.0)
+        network.add_node("t")
+        result = successive_shortest_paths(network, "s", "t")
+        assert result.flow_value == 0
+        assert result.augmentations == 0
+
+    def test_min_cost_flow_raises_when_infeasible(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 1, 1.0)
+        network.add_edge("a", "t", 1, 1.0)
+        with pytest.raises(InfeasibleFlowError):
+            min_cost_flow(network, "s", "t", amount=2)
+
+    def test_invalid_arguments(self):
+        network = simple_diamond()
+        with pytest.raises(ValueError):
+            successive_shortest_paths(network, "s", "missing")
+        with pytest.raises(ValueError):
+            successive_shortest_paths(network, "s", "t", max_flow=-1)
+
+    def test_flow_continues_from_existing_flow(self):
+        network = simple_diamond()
+        successive_shortest_paths(network, "s", "t", max_flow=2)
+        result = successive_shortest_paths(network, "s", "t", max_flow=2)
+        assert result.flow_value == 2
+        assert network.outflow("s") == 4
+
+
+class TestBipartiteAssignment:
+    def test_maximises_total_value_with_real_costs(self):
+        """The LTC-style reduction: maximise Acc* = minimise negative cost."""
+        values = {
+            ("w1", "t1"): 0.9, ("w1", "t2"): 0.2,
+            ("w2", "t1"): 0.85, ("w2", "t2"): 0.8,
+        }
+        network = FlowNetwork()
+        for worker in ("w1", "w2"):
+            network.add_edge("s", worker, 1, 0.0)
+        for task in ("t1", "t2"):
+            network.add_edge(task, "d", 1, 0.0)
+        for (worker, task), value in values.items():
+            network.add_edge(worker, task, 1, -value)
+        result = successive_shortest_paths(network, "s", "d")
+        assert result.flow_value == 2
+        # Optimal assignment: w1->t1 (0.9) + w2->t2 (0.8) = 1.7.
+        assert result.total_cost == pytest.approx(-1.7)
+        assert result.flow_on("w1", "t1") == 1
+        assert result.flow_on("w2", "t2") == 1
+
+
+def random_network(rng: random.Random, num_nodes: int, num_edges: int):
+    """A random network with integer capacities/costs plus an s-t backbone."""
+    network = FlowNetwork()
+    graph = nx.DiGraph()
+    nodes = list(range(num_nodes))
+    for node in nodes:
+        network.add_node(node)
+        graph.add_node(node)
+    edges = set()
+    for _ in range(num_edges):
+        u, v = rng.sample(nodes, 2)
+        if (u, v) in edges:
+            continue
+        edges.add((u, v))
+        capacity = rng.randint(1, 5)
+        cost = rng.randint(0, 9)
+        network.add_edge(u, v, capacity, float(cost))
+        graph.add_edge(u, v, capacity=capacity, weight=cost)
+    return network, graph
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_min_cost_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        network, graph = random_network(rng, num_nodes=8, num_edges=18)
+        source, sink = 0, 7
+
+        # Maximum routable flow, found with networkx.
+        try:
+            max_flow_value = nx.maximum_flow_value(
+                graph, source, sink, capacity="capacity"
+            )
+        except nx.NetworkXError:
+            max_flow_value = 0
+        if max_flow_value == 0:
+            result = successive_shortest_paths(network, source, sink)
+            assert result.flow_value == 0
+            return
+
+        demand = rng.randint(1, max_flow_value)
+        graph.nodes[source]["demand"] = -demand
+        graph.nodes[sink]["demand"] = demand
+        flow_dict = nx.min_cost_flow(graph, capacity="capacity", weight="weight")
+        expected_cost = nx.cost_of_flow(graph, flow_dict, weight="weight")
+
+        result = successive_shortest_paths(network, source, sink, max_flow=demand,
+                                           require_max_flow=True)
+        assert result.flow_value == demand
+        assert result.total_cost == pytest.approx(expected_cost, abs=1e-6)
+        assert not validate_flow(network, source, sink, expected_value=demand)
+
+
+class TestFlowResult:
+    def test_flow_on_missing_edge_is_zero(self):
+        network = simple_diamond()
+        result = successive_shortest_paths(network, "s", "t", max_flow=1)
+        assert result.flow_on("b", "a") == 0
+
+    def test_augmentation_count_bounded_by_flow(self):
+        network = simple_diamond()
+        result = successive_shortest_paths(network, "s", "t")
+        assert 1 <= result.augmentations <= result.flow_value

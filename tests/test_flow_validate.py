@@ -1,0 +1,57 @@
+"""Tests for repro.flow.validate."""
+
+import pytest
+
+from repro.flow.network import FlowNetwork
+from repro.flow.validate import validate_flow
+
+
+def two_hop_network():
+    network = FlowNetwork()
+    first = network.add_edge("s", "a", 3, 1.0)
+    second = network.add_edge("a", "t", 3, 1.0)
+    return network, first, second
+
+
+class TestValidateFlow:
+    def test_valid_flow_has_no_violations(self):
+        network, first, second = two_hop_network()
+        first.push(2)
+        second.push(2)
+        assert validate_flow(network, "s", "t", expected_value=2) == []
+
+    def test_conservation_violation_detected(self):
+        network, first, second = two_hop_network()
+        first.push(2)
+        second.push(1)
+        kinds = {v.kind for v in validate_flow(network, "s", "t")}
+        assert "conservation" in kinds
+
+    def test_capacity_violation_detected(self):
+        network, first, second = two_hop_network()
+        # Bypass Edge.push to simulate a corrupted flow.
+        first.flow = 5
+        second.flow = 5
+        kinds = {v.kind for v in validate_flow(network, "s", "t")}
+        assert "capacity" in kinds
+
+    def test_negative_flow_detected(self):
+        network, first, second = two_hop_network()
+        first.flow = -1
+        second.flow = -1
+        kinds = {v.kind for v in validate_flow(network, "s", "t")}
+        assert "negative-flow" in kinds
+
+    def test_value_mismatch_detected(self):
+        network, first, second = two_hop_network()
+        first.push(1)
+        second.push(1)
+        violations = validate_flow(network, "s", "t", expected_value=3)
+        assert any(v.kind == "value" for v in violations)
+
+    def test_violation_renders_as_string(self):
+        network, first, second = two_hop_network()
+        first.push(1)
+        violations = validate_flow(network, "s", "t")
+        assert violations
+        assert "conservation" in str(violations[0]) or "value" in str(violations[0])

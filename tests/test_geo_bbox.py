@@ -1,0 +1,79 @@
+"""Tests for repro.geo.bbox."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+
+class TestConstruction:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 1.0, 1.0, 0.0)
+
+    def test_square_constructor(self):
+        box = BoundingBox.square(100.0)
+        assert box.width == box.height == 100.0
+        assert box.area == pytest.approx(10000.0)
+
+    def test_square_rejects_non_positive_side(self):
+        with pytest.raises(ValueError):
+            BoundingBox.square(0.0)
+
+    def test_from_points(self):
+        box = BoundingBox.from_points([Point(1, 5), Point(-2, 3), (4, 0)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 0, 4, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.from_points([])
+
+
+class TestGeometry:
+    def test_center(self):
+        assert BoundingBox(0, 0, 10, 20).center == Point(5.0, 10.0)
+
+    def test_contains_boundary_points(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains(Point(0, 0))
+        assert box.contains(Point(10, 10))
+        assert not box.contains(Point(10.001, 5))
+
+    def test_intersects(self):
+        a = BoundingBox(0, 0, 10, 10)
+        assert a.intersects(BoundingBox(5, 5, 15, 15))
+        assert a.intersects(BoundingBox(10, 10, 20, 20))  # touching corner
+        assert not a.intersects(BoundingBox(11, 11, 20, 20))
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 10, 10).expanded(5)
+        assert (box.min_x, box.max_x) == (-5, 15)
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 1, 1).expanded(-1)
+
+    def test_clamp_inside_point_unchanged(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.clamp(Point(5, 5)) == Point(5, 5)
+
+    def test_clamp_outside_point_projected(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.clamp(Point(-3, 20)) == Point(0, 10)
+
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestProperties:
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_clamped_point_is_contained(self, x1, y1, x2, y2, px, py):
+        box = BoundingBox(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        assert box.contains(box.clamp(Point(px, py)))
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=30))
+    def test_from_points_contains_all_points(self, raw_points):
+        points = [Point(x, y) for x, y in raw_points]
+        box = BoundingBox.from_points(points)
+        assert all(box.contains(p) for p in points)

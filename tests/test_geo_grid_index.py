@@ -1,0 +1,118 @@
+"""Tests for repro.geo.grid_index."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.grid_index import GridIndex
+from repro.geo.point import Point
+
+
+def build_index(points, cell_size=10.0, side=100.0):
+    index = GridIndex(BoundingBox.square(side), cell_size)
+    for item_id, (x, y) in enumerate(points):
+        index.insert(item_id, Point(x, y))
+    return index
+
+
+class TestBasics:
+    def test_rejects_non_positive_cell_size(self):
+        with pytest.raises(ValueError):
+            GridIndex(BoundingBox.square(10), 0.0)
+
+    def test_insert_contains_len(self):
+        index = build_index([(1, 1), (2, 2)])
+        assert len(index) == 2
+        assert 0 in index and 1 in index and 2 not in index
+        assert set(index) == {0, 1}
+
+    def test_location_of_and_items(self):
+        index = build_index([(1, 1)])
+        assert index.location_of(0) == Point(1, 1)
+        assert dict(index.items()) == {0: Point(1, 1)}
+
+    def test_reinsert_moves_item(self):
+        index = build_index([(1, 1)])
+        index.insert(0, Point(50, 50))
+        assert index.location_of(0) == Point(50, 50)
+        assert len(index) == 1
+        assert index.query_radius(Point(1, 1), 5) == []
+
+    def test_remove(self):
+        index = build_index([(1, 1), (20, 20)])
+        index.remove(0)
+        assert 0 not in index
+        with pytest.raises(KeyError):
+            index.remove(0)
+
+    def test_points_outside_bounds_are_clamped_but_queryable(self):
+        index = GridIndex(BoundingBox.square(10), 5.0)
+        index.insert("far", Point(1000, 1000))
+        assert index.query_radius(Point(1000, 1000), 1.0) == ["far"]
+
+
+class TestQueryRadius:
+    def test_exact_radius_boundary_included(self):
+        index = build_index([(0, 0), (3, 4)])
+        assert set(index.query_radius(Point(0, 0), 5.0)) == {0, 1}
+        assert index.query_radius(Point(0, 0), 4.99) == [0]
+
+    def test_negative_radius_rejected(self):
+        index = build_index([(0, 0)])
+        with pytest.raises(ValueError):
+            index.query_radius(Point(0, 0), -1.0)
+
+
+class TestNearest:
+    def test_nearest_returns_closest_first(self):
+        index = build_index([(0, 0), (10, 0), (50, 50)])
+        assert index.nearest(Point(1, 0), k=2) == [0, 1]
+
+    def test_nearest_with_max_radius(self):
+        index = build_index([(0, 0), (90, 90)])
+        assert index.nearest(Point(0, 0), k=2, max_radius=20) == [0]
+
+    def test_nearest_empty_index(self):
+        index = GridIndex(BoundingBox.square(10), 1.0)
+        assert index.nearest(Point(0, 0)) == []
+
+    def test_nearest_rejects_non_positive_k(self):
+        index = build_index([(0, 0)])
+        with pytest.raises(ValueError):
+            index.nearest(Point(0, 0), k=0)
+
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+point_sets = st.lists(st.tuples(coords, coords), min_size=1, max_size=60)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(point_sets, coords, coords, st.floats(min_value=0, max_value=60))
+    def test_query_radius_matches_bruteforce(self, points, qx, qy, radius):
+        index = build_index(points, cell_size=7.0)
+        center = Point(qx, qy)
+        # Same squared-distance comparison as the implementation, so the two
+        # sides agree on denormal-precision corner cases.
+        expected = {
+            item_id
+            for item_id, (x, y) in enumerate(points)
+            if (x - qx) ** 2 + (y - qy) ** 2 <= radius * radius
+        }
+        assert set(index.query_radius(center, radius)) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_sets, coords, coords, st.integers(min_value=1, max_value=5))
+    def test_nearest_matches_bruteforce(self, points, qx, qy, k):
+        index = build_index(points, cell_size=9.0)
+        center = Point(qx, qy)
+        got = index.nearest(center, k=k)
+        expected_distances = sorted(
+            math.hypot(x - qx, y - qy) for x, y in points
+        )[: min(k, len(points))]
+        got_distances = [index.location_of(i).distance_to(center) for i in got]
+        assert len(got) == min(k, len(points))
+        for got_d, expected_d in zip(got_distances, expected_distances):
+            assert got_d == pytest.approx(expected_d)

@@ -1,0 +1,79 @@
+"""Tests for repro.geo.hull."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.hull import convex_hull, point_in_convex_polygon
+from repro.geo.point import Point
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        points = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1), Point(0.5, 0.5)]
+        hull = convex_hull(points)
+        assert len(hull) == 4
+        assert set(hull) == {Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)}
+
+    def test_collinear_points_reduce_to_segment_endpoints(self):
+        points = [Point(0, 0), Point(1, 1), Point(2, 2), Point(3, 3)]
+        hull = convex_hull(points)
+        # Degenerate hull: monotone chain keeps the two extreme points.
+        assert Point(0, 0) in hull and Point(3, 3) in hull
+        assert len(hull) <= 2
+
+    def test_duplicates_are_ignored(self):
+        points = [Point(0, 0), Point(0, 0), Point(1, 0), Point(0, 1)]
+        assert len(convex_hull(points)) == 3
+
+    def test_single_and_two_point_inputs(self):
+        assert convex_hull([Point(1, 1)]) == [Point(1, 1)]
+        assert set(convex_hull([Point(0, 0), Point(2, 3)])) == {Point(0, 0), Point(2, 3)}
+
+    def test_accepts_raw_tuples(self):
+        hull = convex_hull([(0, 0), (2, 0), (1, 3)])
+        assert len(hull) == 3
+
+
+class TestPointInPolygon:
+    def test_interior_and_exterior(self):
+        hull = convex_hull([Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)])
+        assert point_in_convex_polygon(Point(2, 2), hull)
+        assert point_in_convex_polygon(Point(0, 0), hull)      # vertex
+        assert point_in_convex_polygon(Point(2, 0), hull)      # edge
+        assert not point_in_convex_polygon(Point(5, 2), hull)
+        assert not point_in_convex_polygon(Point(-0.1, 2), hull)
+
+    def test_degenerate_polygons(self):
+        assert not point_in_convex_polygon(Point(0, 0), [])
+        assert point_in_convex_polygon(Point(1, 1), [Point(1, 1)])
+        assert not point_in_convex_polygon(Point(1, 2), [Point(1, 1)])
+        segment = [Point(0, 0), Point(2, 2)]
+        assert point_in_convex_polygon(Point(1, 1), segment)
+        assert not point_in_convex_polygon(Point(1, 0), segment)
+
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+point_lists = st.lists(st.tuples(coords, coords), min_size=3, max_size=40)
+
+
+class TestHullProperties:
+    @given(point_lists)
+    def test_all_input_points_inside_hull(self, raw_points):
+        points = [Point(x, y) for x, y in raw_points]
+        hull = convex_hull(points)
+        if len(hull) < 3:
+            return  # degenerate configurations are covered elsewhere
+        for p in points:
+            assert point_in_convex_polygon(p, hull)
+
+    @given(point_lists)
+    def test_hull_vertices_are_input_points(self, raw_points):
+        points = {Point(x, y) for x, y in raw_points}
+        hull = convex_hull(points)
+        assert set(hull) <= points
+
+    @given(point_lists)
+    def test_hull_is_idempotent(self, raw_points):
+        points = [Point(x, y) for x, y in raw_points]
+        hull = convex_hull(points)
+        assert set(convex_hull(hull)) == set(hull)

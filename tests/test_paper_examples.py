@@ -1,0 +1,145 @@
+"""Checks against the paper's worked examples (Tables I/II, Examples 1-4).
+
+These tests pin the behaviour of the solvers on the exact instance the paper
+walks through.  Where this implementation intentionally deviates from the
+paper's prose (because the prose deviates from the paper's own pseudo-code or
+tables — see ``repro.core.examples`` and EXPERIMENTS.md), the deviation is
+asserted explicitly so a regression in either direction is caught.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.aam import AAMSolver
+from repro.algorithms.exact import ExactSolver
+from repro.algorithms.laf import LAFSolver
+from repro.algorithms.mcf_ltc import MCFLTCSolver
+from repro.core.examples import (
+    EXAMPLE_CAPACITY,
+    EXAMPLE_ERROR_RATE,
+    EXPECTED_LATENCIES,
+    PAPER_REPORTED_LATENCIES,
+    TABLE_I,
+    running_example_instance,
+)
+
+
+class TestRunningExampleInstance:
+    def test_shape_matches_the_paper(self, running_example):
+        assert running_example.num_tasks == 3
+        assert running_example.num_workers == 8
+        assert running_example.capacity == EXAMPLE_CAPACITY == 2
+        assert running_example.error_rate == EXAMPLE_ERROR_RATE == 0.2
+
+    def test_delta_matches_example_2(self, running_example):
+        assert running_example.delta == pytest.approx(2 * math.log(1 / 0.2), abs=1e-9)
+        assert running_example.delta == pytest.approx(3.22, abs=0.01)
+
+    def test_accuracies_read_table_one(self, running_example):
+        # Spot-check a few cells of Table I.
+        assert running_example.acc(running_example.worker(1), running_example.task(0)) == 0.96
+        assert running_example.acc(running_example.worker(2), running_example.task(0)) == 0.98
+        assert running_example.acc(running_example.worker(5), running_example.task(2)) == 0.94
+
+    def test_acc_star_of_example_2(self, running_example):
+        """Example 2 computes -cost(w1, t1) = (2*0.96 - 1)^2 ~= 0.85."""
+        value = running_example.acc_star(running_example.worker(1), running_example.task(0))
+        assert value == pytest.approx((2 * 0.96 - 1) ** 2)
+        assert value == pytest.approx(0.85, abs=0.01)
+
+    def test_table_one_is_complete(self):
+        assert len(TABLE_I) == 24  # 8 workers x 3 tasks
+
+
+class TestExampleThreeLAF:
+    def test_laf_latency_matches_paper(self, running_example):
+        """Example 3: LAF needs 8 workers."""
+        result = LAFSolver().solve(running_example)
+        assert result.completed
+        assert result.max_latency == PAPER_REPORTED_LATENCIES["laf"] == 8
+
+    def test_laf_first_worker_gets_t2_and_t1(self, running_example):
+        """Example 3's trace: w1 is assigned t2 (0.92) and t1 (0.85)."""
+        solver = LAFSolver()
+        solver.start(running_example)
+        assignments = solver.observe(running_example.worker(1))
+        assert [a.task_id for a in assignments] == [1, 0]
+
+    def test_laf_first_four_workers_complete_t1_and_t2(self, running_example):
+        solver = LAFSolver()
+        solver.start(running_example)
+        for index in range(1, 5):
+            solver.observe(running_example.worker(index))
+        arrangement = solver.arrangement
+        assert arrangement.is_task_complete(0)
+        assert arrangement.is_task_complete(1)
+        assert not arrangement.is_task_complete(2)
+        # S = {3.61, 3.54, 0} in the paper's trace.
+        assert arrangement.accumulated_of(0) == pytest.approx(3.61, abs=0.01)
+        assert arrangement.accumulated_of(1) == pytest.approx(3.54, abs=0.01)
+
+
+class TestExampleFourAAM:
+    def test_aam_beats_laf(self, running_example):
+        aam = AAMSolver().solve(running_example)
+        laf = LAFSolver().solve(running_example)
+        assert aam.completed
+        assert aam.max_latency < laf.max_latency
+
+    def test_aam_latency_matches_pseudocode(self, running_example):
+        """Following Algorithm 3 literally gives 6 (the paper's prose says 7).
+
+        The deviation is deliberate: at the third worker avg = 3.06 <
+        maxRemain = 3.22, so the pseudo-code switches to LRF one arrival
+        earlier than the Example 4 narrative.  See EXPERIMENTS.md.
+        """
+        result = AAMSolver().solve(running_example)
+        assert result.max_latency == EXPECTED_LATENCIES["aam"] == 6
+        assert result.max_latency <= PAPER_REPORTED_LATENCIES["aam"]
+
+    def test_aam_matches_optimum_on_this_instance(self, running_example):
+        aam = AAMSolver().solve(running_example)
+        optimum = ExactSolver().solve(running_example)
+        assert aam.max_latency == optimum.max_latency == 6
+
+
+class TestExampleTwoMCF:
+    def test_mcf_latency(self, running_example):
+        """Example 2 reports 6; the true cost-optimal flow forces 7.
+
+        The flow drawn in the paper's Fig. 2b (only workers 1-6) has total
+        Acc* 10.46, but the minimum-cost flow for Table I has total Acc*
+        10.53 and necessarily uses worker 7 or 8.  With low-index
+        tie-breaking, MCF-LTC therefore returns 7.
+        """
+        result = MCFLTCSolver().solve(running_example)
+        assert result.completed
+        assert result.max_latency == EXPECTED_LATENCIES["mcf_ltc"] == 7
+        assert result.max_latency <= PAPER_REPORTED_LATENCIES["laf"]
+
+    def test_single_batch_contains_all_workers(self, running_example):
+        """Example 2: the first batch is floor(1.5 * 6) = 9 > 8 workers."""
+        result = MCFLTCSolver().solve(running_example)
+        assert result.extra["batches"] == 1.0
+
+    def test_all_tasks_completed_by_the_flow_alone(self, running_example):
+        """Example 2 notes every task is completed by the flow's arrangement."""
+        result = MCFLTCSolver().solve(running_example)
+        # Each task accumulated at least delta.
+        for task in running_example.tasks:
+            assert result.arrangement.accumulated_of(task.task_id) >= running_example.delta - 1e-9
+
+    def test_batch_parameter_m_matches_example(self, running_example):
+        """Example 2: m = |T| * ceil(delta) / K = 3 * 4 / 2 = 6."""
+        delta = running_example.delta
+        m = running_example.num_tasks * math.ceil(delta) / running_example.capacity
+        assert m == pytest.approx(6.0)
+
+
+class TestExampleOneOffline:
+    def test_offline_optimum_is_better_than_online_greedy(self, running_example):
+        """Example 1's message: offline arrangements beat naive online ones."""
+        optimum = ExactSolver().solve(running_example)
+        laf = LAFSolver().solve(running_example)
+        assert optimum.max_latency < laf.max_latency

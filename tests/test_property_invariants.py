@@ -1,0 +1,125 @@
+"""Property-based tests of solver invariants on randomly generated instances.
+
+Hypothesis generates small random LTC instances (random per-pair accuracies,
+random capacities and error rates) and checks that every solver maintains the
+problem's invariants regardless of the input:
+
+* no (worker, task) pair is assigned twice;
+* no worker exceeds its capacity;
+* a completed run accumulates at least delta on every task;
+* the reported latency equals the largest worker index actually used;
+* online solvers never assign a worker before it "arrives".
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algorithms.registry import get_solver
+from repro.core.accuracy import TabularAccuracy
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+
+SOLVER_NAMES = ["LAF", "AAM", "Random", "MCF-LTC", "Base-off"]
+
+
+@st.composite
+def small_instances(draw):
+    num_tasks = draw(st.integers(min_value=1, max_value=4))
+    num_workers = draw(st.integers(min_value=2, max_value=14))
+    capacity = draw(st.integers(min_value=1, max_value=3))
+    error_rate = draw(st.sampled_from([0.1, 0.2, 0.3, 0.45]))
+    table = {}
+    for worker_index in range(1, num_workers + 1):
+        for task_id in range(num_tasks):
+            # Mix eligible and ineligible pairs so candidate filtering is hit.
+            accuracy = draw(st.sampled_from([0.5, 0.7, 0.8, 0.9, 0.97]))
+            table[(worker_index, task_id)] = accuracy
+    tasks = [Task(task_id=i, location=Point(float(i), 0.0)) for i in range(num_tasks)]
+    workers = [
+        Worker(index=i, location=Point(0.0, float(i)), accuracy=0.9, capacity=capacity)
+        for i in range(1, num_workers + 1)
+    ]
+    return LTCInstance(
+        tasks=tasks,
+        workers=workers,
+        error_rate=error_rate,
+        accuracy_model=TabularAccuracy(table),
+    )
+
+
+common_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSolverInvariants:
+    @common_settings
+    @given(instance=small_instances(), solver_name=st.sampled_from(SOLVER_NAMES))
+    def test_no_duplicate_assignments(self, instance, solver_name):
+        result = get_solver(solver_name).solve(instance)
+        pairs = [a.as_tuple() for a in result.arrangement]
+        assert len(pairs) == len(set(pairs))
+
+    @common_settings
+    @given(instance=small_instances(), solver_name=st.sampled_from(SOLVER_NAMES))
+    def test_capacity_never_exceeded(self, instance, solver_name):
+        result = get_solver(solver_name).solve(instance)
+        loads: dict[int, int] = {}
+        for assignment in result.arrangement:
+            loads[assignment.worker_index] = loads.get(assignment.worker_index, 0) + 1
+        for worker_index, load in loads.items():
+            assert load <= instance.worker(worker_index).capacity
+
+    @common_settings
+    @given(instance=small_instances(), solver_name=st.sampled_from(SOLVER_NAMES))
+    def test_completion_implies_error_rate_constraint(self, instance, solver_name):
+        result = get_solver(solver_name).solve(instance)
+        if result.completed:
+            for task in instance.tasks:
+                assert result.arrangement.accumulated_of(task.task_id) >= \
+                    instance.delta - 1e-9
+
+    @common_settings
+    @given(instance=small_instances(), solver_name=st.sampled_from(SOLVER_NAMES))
+    def test_reported_latency_matches_arrangement(self, instance, solver_name):
+        result = get_solver(solver_name).solve(instance)
+        if result.arrangement.assignments:
+            max_index = max(a.worker_index for a in result.arrangement)
+            assert result.max_latency == max_index
+        else:
+            assert result.max_latency == 0
+
+    @common_settings
+    @given(instance=small_instances(),
+           solver_name=st.sampled_from(["LAF", "AAM", "Random"]))
+    def test_online_solvers_never_use_unobserved_workers(self, instance, solver_name):
+        result = get_solver(solver_name).solve(instance)
+        assert all(
+            assignment.worker_index <= result.workers_observed
+            for assignment in result.arrangement
+        )
+
+    @common_settings
+    @given(instance=small_instances(),
+           solver_name=st.sampled_from(["LAF", "AAM", "Random"]))
+    def test_online_solvers_stop_as_soon_as_complete(self, instance, solver_name):
+        result = get_solver(solver_name).solve(instance)
+        if result.completed:
+            assert result.workers_observed == result.max_latency
+
+    @common_settings
+    @given(instance=small_instances())
+    def test_accumulated_acc_star_equals_sum_of_assignments(self, instance):
+        result = get_solver("AAM").solve(instance)
+        totals: dict[int, float] = {task.task_id: 0.0 for task in instance.tasks}
+        for assignment in result.arrangement:
+            totals[assignment.task_id] += assignment.acc_star
+        for task_id, total in totals.items():
+            assert math.isclose(
+                total, result.arrangement.accumulated_of(task_id), abs_tol=1e-9
+            )

@@ -1,0 +1,84 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_workflow_through_top_level_imports(self):
+        instance = repro.generate_synthetic_instance(repro.SyntheticConfig(
+            num_tasks=5, num_workers=120, capacity=4, error_rate=0.2,
+            grid_size=70.0, seed=1,
+        ))
+        result = repro.get_solver("LAF").solve(instance)
+        assert isinstance(result, repro.SolveResult)
+        assert result.completed
+
+    def test_available_solvers_lists_paper_algorithms(self):
+        names = repro.available_solvers()
+        for expected in ("MCF-LTC", "LAF", "AAM", "Base-off", "Random"):
+            assert expected in names
+
+    def test_experiment_registry_exposed(self):
+        assert "fig3_tasks" in repro.list_experiments()
+        assert repro.get_experiment("fig3_tasks").sweep_parameter == "|T|"
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.core", "repro.algorithms", "repro.flow", "repro.geo",
+            "repro.structures", "repro.quality", "repro.datagen",
+            "repro.simulation", "repro.experiments",
+        ):
+            importlib.import_module(module)
+
+    def test_city_presets_exposed(self):
+        assert repro.NEW_YORK.city == "New York"
+        assert repro.TOKYO.city == "Tokyo"
+
+
+class TestExamplesAreImportable:
+    """The example scripts must at least import and expose a main()."""
+
+    @pytest.mark.parametrize("module_name", [
+        "quickstart", "facebook_poi_campaign", "online_checkin_stream",
+        "offline_vs_online_tradeoff",
+    ])
+    def test_example_has_main(self, module_name):
+        import sys
+        from pathlib import Path
+
+        examples_dir = Path(__file__).resolve().parent.parent / "examples"
+        sys.path.insert(0, str(examples_dir))
+        try:
+            module = importlib.import_module(module_name)
+            assert callable(getattr(module, "main"))
+        finally:
+            sys.path.remove(str(examples_dir))
+
+    def test_running_example_walkthrough_is_fast_enough_for_ci(self, capsys):
+        """The Facebook POI example runs end to end in-process."""
+        import sys
+        from pathlib import Path
+
+        examples_dir = Path(__file__).resolve().parent.parent / "examples"
+        sys.path.insert(0, str(examples_dir))
+        try:
+            module = importlib.import_module("facebook_poi_campaign")
+            module.main()
+        finally:
+            sys.path.remove(str(examples_dir))
+        output = capsys.readouterr().out
+        assert "MCF-LTC: latency = 7" in output
+        assert "AAM: latency = 6" in output
+        assert "LAF: latency = 8" in output

@@ -1,0 +1,71 @@
+"""Tests for repro.quality.answers (simulated worker answers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import ConstantAccuracy
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+from repro.quality.answers import AnswerSimulator, simulate_answers
+
+
+def constant_instance(accuracy=0.9, true_answer=1):
+    tasks = [Task(task_id=0, location=Point(0, 0), true_answer=true_answer)]
+    workers = [
+        Worker(index=i, location=Point(0, 0), accuracy=0.9, capacity=1)
+        for i in range(1, 4)
+    ]
+    return LTCInstance(
+        tasks=tasks, workers=workers, error_rate=0.2,
+        accuracy_model=ConstantAccuracy(accuracy),
+    )
+
+
+class TestAnswerSimulator:
+    def test_perfect_accuracy_always_returns_truth(self):
+        instance = constant_instance(accuracy=1.0, true_answer=-1)
+        simulator = AnswerSimulator(instance.accuracy_model, np.random.default_rng(0))
+        for _ in range(20):
+            assert simulator.answer(instance.worker(1), instance.task(0)) == -1
+
+    def test_zero_accuracy_always_returns_opposite(self):
+        instance = constant_instance(accuracy=0.0, true_answer=1)
+        simulator = AnswerSimulator(instance.accuracy_model, np.random.default_rng(0))
+        for _ in range(20):
+            assert simulator.answer(instance.worker(1), instance.task(0)) == -1
+
+    def test_empirical_rate_close_to_accuracy(self):
+        instance = constant_instance(accuracy=0.8)
+        simulator = AnswerSimulator(instance.accuracy_model, np.random.default_rng(7))
+        draws = [
+            simulator.answer(instance.worker(1), instance.task(0)) for _ in range(4000)
+        ]
+        observed = sum(1 for d in draws if d == 1) / len(draws)
+        assert observed == pytest.approx(0.8, abs=0.03)
+
+
+class TestSimulateAnswers:
+    def test_one_answer_per_assignment(self):
+        instance = constant_instance()
+        arrangement = instance.new_arrangement()
+        arrangement.assign(instance.worker(1), instance.task(0))
+        arrangement.assign(instance.worker(2), instance.task(0))
+        answers = simulate_answers(instance, arrangement, np.random.default_rng(0))
+        assert len(answers[0]) == 2
+        worker_indices = {entry[0] for entry in answers[0]}
+        assert worker_indices == {1, 2}
+
+    def test_unassigned_tasks_have_no_answers(self):
+        instance = constant_instance()
+        arrangement = instance.new_arrangement()
+        answers = simulate_answers(instance, arrangement, np.random.default_rng(0))
+        assert answers[0] == []
+
+    def test_answers_carry_pair_accuracy(self):
+        instance = constant_instance(accuracy=0.75)
+        arrangement = instance.new_arrangement()
+        arrangement.assign(instance.worker(1), instance.task(0))
+        answers = simulate_answers(instance, arrangement, np.random.default_rng(0))
+        assert answers[0][0][2] == pytest.approx(0.75)

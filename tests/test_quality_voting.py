@@ -1,0 +1,73 @@
+"""Tests for repro.quality.voting (Definition 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quality.voting import weighted_majority_vote
+
+
+class TestWeightedMajorityVote:
+    def test_unanimous_yes(self):
+        outcome = weighted_majority_vote([1, 1, 1], [0.9, 0.8, 0.7])
+        assert outcome.decision == 1
+        assert outcome.num_votes == 3
+        assert outcome.score == pytest.approx(0.8 + 0.6 + 0.4)
+
+    def test_high_accuracy_worker_outweighs_low_accuracy_majority(self):
+        outcome = weighted_majority_vote([1, -1, -1], [0.99, 0.55, 0.55])
+        assert outcome.decision == 1
+
+    def test_tie_breaks_to_positive(self):
+        outcome = weighted_majority_vote([1, -1], [0.8, 0.8])
+        assert outcome.score == pytest.approx(0.0)
+        assert outcome.decision == 1
+
+    def test_empty_vote(self):
+        outcome = weighted_majority_vote([], [])
+        assert outcome.decision == 1
+        assert outcome.confidence == 0.0
+
+    def test_below_half_accuracy_counts_against_stated_answer(self):
+        """A 0-accuracy worker has weight -1: their answer is inverted."""
+        outcome = weighted_majority_vote([1], [0.0])
+        assert outcome.decision == -1
+
+    def test_confidence_in_unit_interval(self):
+        outcome = weighted_majority_vote([1, -1, 1], [0.9, 0.7, 0.6])
+        assert 0.0 <= outcome.confidence <= 1.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_majority_vote([1], [0.9, 0.8])
+
+    def test_invalid_answer_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_majority_vote([0], [0.9])
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_majority_vote([1], [1.5])
+
+
+answers = st.lists(st.sampled_from([-1, 1]), min_size=1, max_size=30)
+
+
+class TestVotingProperties:
+    @given(answers, st.data())
+    def test_flipping_all_answers_flips_decision_or_tie(self, votes, data):
+        accuracies = data.draw(st.lists(
+            st.floats(min_value=0.51, max_value=1.0),
+            min_size=len(votes), max_size=len(votes)))
+        outcome = weighted_majority_vote(votes, accuracies)
+        flipped = weighted_majority_vote([-v for v in votes], accuracies)
+        if abs(outcome.score) > 1e-12:
+            assert flipped.decision == -outcome.decision
+        assert flipped.score == pytest.approx(-outcome.score)
+
+    @given(answers, st.data())
+    def test_total_weight_bounds_score(self, votes, data):
+        accuracies = data.draw(st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=len(votes), max_size=len(votes)))
+        outcome = weighted_majority_vote(votes, accuracies)
+        assert abs(outcome.score) <= outcome.total_weight + 1e-9

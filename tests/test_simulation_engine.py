@@ -1,0 +1,51 @@
+"""Tests for the arrival-by-arrival online simulation engine."""
+
+import pytest
+
+from repro.algorithms.aam import AAMSolver
+from repro.algorithms.baselines import BaseOffSolver
+from repro.algorithms.laf import LAFSolver
+from repro.core.stream import WorkerStream
+from repro.simulation.engine import OnlineSimulation
+
+
+class TestOnlineSimulation:
+    def test_rejects_offline_solvers(self):
+        with pytest.raises(TypeError):
+            OnlineSimulation(BaseOffSolver())
+
+    def test_event_log_matches_solver_result(self, tiny_instance):
+        outcome = OnlineSimulation(LAFSolver()).run(tiny_instance)
+        assert outcome.result.completed
+        assert outcome.workers_arrived == outcome.result.workers_observed
+        assert outcome.events[-1].tasks_remaining == 0
+        # The last arrival that completed the instance carries a completion.
+        assert outcome.events[-1].newly_completed_tasks
+
+    def test_simulation_and_plain_solve_agree(self, small_synthetic_instance):
+        simulated = OnlineSimulation(AAMSolver()).run(small_synthetic_instance)
+        solved = AAMSolver().solve(small_synthetic_instance)
+        assert simulated.result.max_latency == solved.max_latency
+        assert simulated.result.num_assignments == solved.num_assignments
+
+    def test_completion_arrival_recorded_per_task(self, tiny_instance):
+        outcome = OnlineSimulation(LAFSolver()).run(tiny_instance)
+        completions = outcome.completion_arrival_by_task
+        assert set(completions) == {task.task_id for task in tiny_instance.tasks}
+        assert max(completions.values()) == outcome.result.max_latency
+
+    def test_workers_skipped_counts_unused_arrivals(self, small_synthetic_instance):
+        outcome = OnlineSimulation(LAFSolver()).run(small_synthetic_instance)
+        used = sum(1 for event in outcome.events if event.was_used)
+        assert used + outcome.workers_skipped == outcome.workers_arrived
+
+    def test_run_entire_stream_when_not_stopping_at_completion(self, tiny_instance):
+        outcome = OnlineSimulation(LAFSolver()).run(
+            tiny_instance, stop_when_complete=False
+        )
+        assert outcome.workers_arrived == tiny_instance.num_workers
+
+    def test_custom_stream_is_respected(self, tiny_instance):
+        stream = WorkerStream(tiny_instance.workers[:3])
+        outcome = OnlineSimulation(LAFSolver()).run(tiny_instance, stream=stream)
+        assert outcome.workers_arrived <= 3

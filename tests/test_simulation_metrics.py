@@ -1,0 +1,36 @@
+"""Tests for repro.simulation.metrics."""
+
+import pytest
+
+from repro.algorithms.laf import LAFSolver
+from repro.simulation.metrics import SolveMeasurement, measure_solver
+
+
+class TestMeasureSolver:
+    def test_measures_runtime_and_memory(self, tiny_instance):
+        measurement = measure_solver(LAFSolver(), tiny_instance)
+        assert measurement.result.completed
+        assert measurement.runtime_seconds > 0
+        assert measurement.peak_memory_bytes > 0
+        assert measurement.peak_memory_mb == pytest.approx(
+            measurement.peak_memory_bytes / (1024 * 1024)
+        )
+
+    def test_memory_tracking_can_be_disabled(self, tiny_instance):
+        measurement = measure_solver(LAFSolver(), tiny_instance, track_memory=False)
+        assert measurement.peak_memory_bytes == 0
+        assert measurement.runtime_seconds > 0
+
+    def test_summary_merges_result_and_efficiency(self, tiny_instance):
+        measurement = measure_solver(LAFSolver(), tiny_instance)
+        summary = measurement.summary()
+        assert summary["max_latency"] == float(measurement.result.max_latency)
+        assert "runtime_seconds" in summary
+        assert "peak_memory_mb" in summary
+
+    def test_does_not_leave_tracemalloc_running(self, tiny_instance):
+        import tracemalloc
+
+        was_tracing = tracemalloc.is_tracing()
+        measure_solver(LAFSolver(), tiny_instance)
+        assert tracemalloc.is_tracing() == was_tracing

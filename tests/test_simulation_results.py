@@ -1,0 +1,86 @@
+"""Tests for experiment result records and aggregation."""
+
+import pytest
+
+from repro.simulation.results import ExperimentRecord, FIGURE_METRICS, ResultTable
+
+
+def record(value, algorithm, repetition=0, latency=100.0, runtime=1.0, memory=10.0,
+           experiment_id="exp", completed=True):
+    return ExperimentRecord(
+        experiment_id=experiment_id,
+        sweep_parameter="|T|",
+        sweep_value=value,
+        algorithm=algorithm,
+        repetition=repetition,
+        max_latency=latency,
+        completed=completed,
+        runtime_seconds=runtime,
+        peak_memory_mb=memory,
+    )
+
+
+class TestExperimentRecord:
+    def test_metric_lookup(self):
+        r = record(1.0, "LAF", latency=42.0, runtime=0.5, memory=7.0)
+        assert r.metric("max_latency") == 42.0
+        assert r.metric("runtime_seconds") == 0.5
+        assert r.metric("peak_memory_mb") == 7.0
+        assert r.metric("completed") == 1.0
+
+    def test_metric_from_extra(self):
+        r = ExperimentRecord(
+            experiment_id="exp", sweep_parameter="|T|", sweep_value=1.0,
+            algorithm="AAM", repetition=0, max_latency=1.0, completed=True,
+            runtime_seconds=0.1, peak_memory_mb=1.0, extra={"batches": 3.0},
+        )
+        assert r.metric("batches") == 3.0
+        with pytest.raises(KeyError):
+            r.metric("nonexistent")
+
+    def test_figure_metrics_tuple(self):
+        assert FIGURE_METRICS == ("max_latency", "runtime_seconds", "peak_memory_mb")
+
+
+class TestResultTable:
+    def test_add_checks_experiment_id(self):
+        table = ResultTable("exp", "|T|")
+        with pytest.raises(ValueError):
+            table.add(record(1.0, "LAF", experiment_id="other"))
+
+    def test_algorithms_in_first_appearance_order(self):
+        table = ResultTable("exp", "|T|")
+        table.extend([record(1.0, "LAF"), record(1.0, "AAM"), record(2.0, "LAF")])
+        assert table.algorithms() == ["LAF", "AAM"]
+        assert table.sweep_values() == [1.0, 2.0]
+        assert len(table) == 3
+
+    def test_aggregate_and_mean_series(self):
+        table = ResultTable("exp", "|T|")
+        table.extend([
+            record(1.0, "LAF", repetition=0, latency=100.0),
+            record(1.0, "LAF", repetition=1, latency=200.0),
+            record(2.0, "LAF", repetition=0, latency=300.0),
+        ])
+        aggregated = table.aggregate("max_latency")
+        assert aggregated["LAF"][1.0].count == 2
+        assert aggregated["LAF"][1.0].mean == pytest.approx(150.0)
+        series = table.mean_series("max_latency")
+        assert series["LAF"] == [(1.0, pytest.approx(150.0)), (2.0, pytest.approx(300.0))]
+
+    def test_completion_rate(self):
+        table = ResultTable("exp", "|T|")
+        assert table.completion_rate() == 0.0
+        table.extend([
+            record(1.0, "LAF", completed=True),
+            record(2.0, "LAF", completed=False),
+        ])
+        assert table.completion_rate() == pytest.approx(0.5)
+
+    def test_to_rows(self):
+        table = ResultTable("exp", "|T|")
+        table.add(record(1.0, "AAM", latency=11.0))
+        rows = table.to_rows()
+        assert rows[0]["algorithm"] == "AAM"
+        assert rows[0]["|T|"] == 1.0
+        assert rows[0]["max_latency"] == 11.0

@@ -1,0 +1,91 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.algorithms.mcf_ltc import MCFLTCSolver
+from repro.core.accuracy import ConstantAccuracy
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+from repro.simulation.runner import ExperimentRunner
+
+
+def toy_factory(sweep_value, repetition):
+    """Instance whose size depends on the sweep value (number of tasks)."""
+    num_tasks = int(sweep_value)
+    tasks = [Task(task_id=i, location=Point(i, 0)) for i in range(num_tasks)]
+    workers = [
+        Worker(index=i, location=Point(0, i), accuracy=0.9, capacity=2)
+        for i in range(1, 20)
+    ]
+    return LTCInstance(tasks=tasks, workers=workers, error_rate=0.2,
+                       accuracy_model=ConstantAccuracy(0.9))
+
+
+class TestExperimentRunner:
+    def test_produces_one_record_per_cell(self):
+        runner = ExperimentRunner(
+            experiment_id="toy",
+            sweep_parameter="|T|",
+            sweep_values=[1, 2],
+            instance_factory=toy_factory,
+            algorithms=["LAF", "AAM"],
+            repetitions=2,
+            track_memory=False,
+        )
+        table = runner.run()
+        assert len(table) == 2 * 2 * 2
+        assert set(table.algorithms()) == {"LAF", "AAM"}
+        assert table.sweep_values() == [1.0, 2.0]
+        assert table.completion_rate() == 1.0
+
+    def test_progress_callback_invoked(self):
+        messages = []
+        runner = ExperimentRunner(
+            experiment_id="toy",
+            sweep_parameter="|T|",
+            sweep_values=[1],
+            instance_factory=toy_factory,
+            algorithms=["LAF"],
+            repetitions=1,
+            track_memory=False,
+            progress=messages.append,
+        )
+        runner.run()
+        assert len(messages) == 1
+        assert "toy" in messages[0] and "LAF" in messages[0]
+
+    def test_solver_overrides_take_precedence(self):
+        override_calls = []
+
+        def make_override():
+            override_calls.append(1)
+            return MCFLTCSolver(batch_multiplier=2.0)
+
+        runner = ExperimentRunner(
+            experiment_id="toy",
+            sweep_parameter="|T|",
+            sweep_values=[1],
+            instance_factory=toy_factory,
+            algorithms=["MCF-LTC"],
+            repetitions=1,
+            track_memory=False,
+            solver_overrides={"MCF-LTC": make_override},
+        )
+        table = runner.run()
+        assert override_calls == [1]
+        assert len(table) == 1
+
+    def test_latency_scales_with_sweep_value(self):
+        runner = ExperimentRunner(
+            experiment_id="toy",
+            sweep_parameter="|T|",
+            sweep_values=[1, 4],
+            instance_factory=toy_factory,
+            algorithms=["LAF"],
+            repetitions=1,
+            track_memory=False,
+        )
+        series = runner.run().mean_series("max_latency")["LAF"]
+        assert series[0][1] < series[1][1]

@@ -1,0 +1,109 @@
+"""Tests for repro.structures.indexed_heap."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.structures.indexed_heap import IndexedMinHeap
+
+
+class TestIndexedMinHeap:
+    def test_push_peek_pop_in_priority_order(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        heap.push("c", 2.0)
+        assert heap.peek() == (1.0, "b")
+        assert [heap.pop()[1] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_len_bool_contains(self):
+        heap = IndexedMinHeap()
+        assert not heap
+        heap.push("a", 1.0)
+        assert heap and len(heap) == 1 and "a" in heap
+
+    def test_push_existing_key_updates_priority(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 5.0)
+        heap.push("a", 1.0)
+        assert len(heap) == 1
+        assert heap.peek() == (1.0, "a")
+
+    def test_update_increase_and_decrease(self):
+        heap = IndexedMinHeap()
+        for key, priority in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+            heap.push(key, priority)
+        heap.update("a", 10.0)
+        heap.update("c", 0.5)
+        assert heap.pop() == (0.5, "c")
+        assert heap.pop() == (2.0, "b")
+        assert heap.pop() == (10.0, "a")
+
+    def test_priority_of(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 4.0)
+        assert heap.priority_of("a") == 4.0
+
+    def test_remove_middle_element(self):
+        heap = IndexedMinHeap()
+        for key, priority in [("a", 1.0), ("b", 2.0), ("c", 3.0), ("d", 4.0)]:
+            heap.push(key, priority)
+        heap.remove("b")
+        assert "b" not in heap
+        assert [heap.pop()[1] for _ in range(3)] == ["a", "c", "d"]
+
+    def test_remove_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            IndexedMinHeap().remove("zzz")
+
+    def test_pop_if(self):
+        heap = IndexedMinHeap()
+        heap.push("a", 1.0)
+        assert heap.pop_if("missing") is None
+        assert heap.pop_if("a") == (1.0, "a")
+        assert "a" not in heap
+
+    def test_peek_pop_empty_raise(self):
+        heap = IndexedMinHeap()
+        with pytest.raises(IndexError):
+            heap.peek()
+        with pytest.raises(IndexError):
+            heap.pop()
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "update", "pop", "remove"]),
+        st.integers(min_value=0, max_value=20),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    max_size=200,
+)
+
+
+class TestAgainstReferenceImplementation:
+    @settings(max_examples=80, deadline=None)
+    @given(operations)
+    def test_random_operation_sequences(self, ops):
+        heap = IndexedMinHeap()
+        reference: dict[int, float] = {}
+        for op, key, priority in ops:
+            if op == "push" or (op == "update" and key in reference):
+                heap.push(key, priority)
+                reference[key] = priority
+            elif op == "pop" and reference:
+                got_priority, got_key = heap.pop()
+                expected_priority = min(reference.values())
+                assert got_priority == pytest.approx(expected_priority)
+                assert reference.pop(got_key) == pytest.approx(got_priority)
+            elif op == "remove" and key in reference:
+                heap.remove(key)
+                del reference[key]
+        assert len(heap) == len(reference)
+        drained = {}
+        while heap:
+            priority, key = heap.pop()
+            drained[key] = priority
+        assert drained == pytest.approx(reference)

@@ -1,0 +1,73 @@
+"""Tests for repro.structures.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures.stats import RunningStats
+
+
+class TestRunningStats:
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert math.isnan(stats.summary()["min"])
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(4.0)
+        assert stats.mean == 4.0
+        assert stats.variance == 0.0
+        assert stats.minimum == stats.maximum == 4.0
+
+    def test_known_sequence(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(np.std([2, 4, 4, 4, 5, 5, 7, 9], ddof=1))
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_merge(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        b = RunningStats()
+        b.extend([3.0, 4.0])
+        merged = a.merge(b)
+        assert merged.count == 4
+        assert merged.mean == pytest.approx(2.5)
+
+    def test_summary_keys(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        assert set(stats.summary()) == {"count", "mean", "stddev", "min", "max"}
+
+
+samples = st.lists(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+                   min_size=1, max_size=100)
+
+
+class TestAgainstNumpy:
+    @given(samples)
+    def test_mean_matches_numpy(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-7)
+
+    @given(samples)
+    def test_variance_matches_numpy(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        expected = float(np.var(values, ddof=1)) if len(values) > 1 else 0.0
+        assert stats.variance == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+    @given(samples)
+    def test_min_max(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)

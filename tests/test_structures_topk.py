@@ -1,0 +1,78 @@
+"""Tests for repro.structures.topk."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.structures.topk import TopKHeap
+
+
+class TestTopKHeap:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+
+    def test_keeps_only_k_largest(self):
+        heap = TopKHeap(2)
+        for score, item in [(1.0, "a"), (3.0, "b"), (2.0, "c"), (0.5, "d")]:
+            heap.push(score, item)
+        drained = heap.pop_all()
+        assert [item for _, item in drained] == ["b", "c"]
+
+    def test_push_returns_whether_item_was_retained(self):
+        heap = TopKHeap(1)
+        assert heap.push(1.0, "a") is True
+        assert heap.push(5.0, "b") is True
+        assert heap.push(0.5, "c") is False
+
+    def test_ties_keep_earliest_pushed_item(self):
+        """Matches the paper's worked example: w1 keeps t1 over t3 at 0.85."""
+        heap = TopKHeap(2)
+        heap.push(0.85, "t1")
+        heap.push(0.92, "t2")
+        heap.push(0.85, "t3")
+        assert set(heap.peek_items()) == {"t1", "t2"}
+
+    def test_pop_all_returns_largest_first_and_empties(self):
+        heap = TopKHeap(3)
+        heap.push(1.0, "a")
+        heap.push(2.0, "b")
+        assert heap.pop_all() == [(2.0, "b"), (1.0, "a")]
+        assert len(heap) == 0
+        assert not heap
+
+    def test_pop_smallest_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            TopKHeap(1).pop_smallest()
+
+    def test_iteration_and_clear(self):
+        heap = TopKHeap(3)
+        heap.push(1.0, "a")
+        heap.push(2.0, "b")
+        assert {item for _, item in heap} == {"a", "b"}
+        heap.clear()
+        assert len(heap) == 0
+
+    def test_capacity_property(self):
+        assert TopKHeap(7).capacity == 7
+
+
+scores = st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                  min_size=0, max_size=60)
+
+
+class TestTopKProperties:
+    @given(scores, st.integers(min_value=1, max_value=10))
+    def test_matches_sorted_top_k(self, values, k):
+        heap = TopKHeap(k)
+        for index, value in enumerate(values):
+            heap.push(value, index)
+        kept_scores = sorted((score for score, _ in heap.pop_all()), reverse=True)
+        expected = sorted(values, reverse=True)[: min(k, len(values))]
+        assert kept_scores == pytest.approx(expected)
+
+    @given(scores, st.integers(min_value=1, max_value=10))
+    def test_never_exceeds_capacity(self, values, k):
+        heap = TopKHeap(k)
+        for index, value in enumerate(values):
+            heap.push(value, index)
+            assert len(heap) <= k
