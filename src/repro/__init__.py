@@ -3,20 +3,35 @@
 A full reproduction of Zeng, Tong, Chen, Zhou — "Latency-oriented Task
 Completion via Spatial Crowdsourcing", ICDE 2018.
 
-The public API re-exported here covers the common workflow:
+The public API re-exported here covers the common workflow.  Solvers are
+built declaratively from parameterized specs:
 
->>> from repro import SyntheticConfig, generate_synthetic_instance, get_solver
+>>> from repro import SolverSpec, SyntheticConfig, build_solver, generate_synthetic_instance
 >>> instance = generate_synthetic_instance(SyntheticConfig(
 ...     num_tasks=30, num_workers=600, grid_size=150, seed=7))
->>> result = get_solver("AAM").solve(instance)
+>>> result = build_solver("AAM").solve(instance)
 >>> result.completed, result.max_latency  # doctest: +SKIP
 (True, 213)
+>>> mcf = build_solver(SolverSpec.parse("MCF-LTC?batch_multiplier=2.0"))
+
+Every solver — online or offline — can also be driven incrementally through
+the uniform :class:`~repro.core.session.Session` protocol, which is what the
+simulation engine, the experiment runner and the service layer use:
+
+>>> session = build_solver("LAF").open_session(instance)
+>>> for worker in instance.workers:  # doctest: +SKIP
+...     assignments = session.on_worker(worker)
+...     if session.is_complete:
+...         break
+>>> session.result().max_latency  # doctest: +SKIP
+247
 
 Sub-packages:
 
 * ``repro.core`` — tasks, workers, accuracy functions, arrangements,
-  offline/online problem instances.
-* ``repro.algorithms`` — MCF-LTC, LAF, AAM, the paper's baselines, bounds.
+  offline/online problem instances, the incremental ``Session`` protocol.
+* ``repro.algorithms`` — MCF-LTC, LAF, AAM, the paper's baselines, bounds,
+  the ``SolverSpec`` registry.
 * ``repro.flow`` / ``repro.geo`` / ``repro.structures`` — the substrates
   (min-cost flow, computational geometry, heaps).
 * ``repro.quality`` — weighted majority voting and the Hoeffding guarantee.
@@ -24,6 +39,9 @@ Sub-packages:
   workload generators.
 * ``repro.simulation`` / ``repro.experiments`` — measurement harness and the
   per-figure experiment definitions.
+* ``repro.service`` — the multi-instance dispatch layer
+  (:class:`~repro.service.LTCDispatcher`) serving many concurrent sessions
+  from one merged worker stream.
 """
 
 from repro._version import __version__
@@ -32,6 +50,9 @@ from repro.core import (
     Assignment,
     CandidateFinder,
     LTCInstance,
+    Session,
+    SessionSnapshot,
+    SessionStateError,
     SigmoidDistanceAccuracy,
     Task,
     Worker,
@@ -46,10 +67,18 @@ from repro.algorithms import (
     MCFLTCSolver,
     RandomOnlineSolver,
     SolveResult,
+    SolverSpec,
     available_solvers,
+    build_solver,
     get_solver,
     latency_lower_bound,
     latency_upper_bound,
+    register_solver,
+)
+from repro.service import (
+    DispatcherMetrics,
+    LTCDispatcher,
+    SessionStatus,
 )
 from repro.datagen import (
     CheckinCityConfig,
@@ -94,18 +123,28 @@ __all__ = [
     "CandidateFinder",
     "SigmoidDistanceAccuracy",
     "quality_threshold",
+    "Session",
+    "SessionSnapshot",
+    "SessionStateError",
     # algorithms
     "SolveResult",
+    "SolverSpec",
     "MCFLTCSolver",
     "LAFSolver",
     "AAMSolver",
     "BaseOffSolver",
     "RandomOnlineSolver",
     "ExactSolver",
+    "build_solver",
     "get_solver",
+    "register_solver",
     "available_solvers",
     "latency_lower_bound",
     "latency_upper_bound",
+    # service
+    "LTCDispatcher",
+    "SessionStatus",
+    "DispatcherMetrics",
     # data generation
     "SyntheticConfig",
     "generate_synthetic_instance",

@@ -16,8 +16,12 @@ Online (workers arrive one by one; assignments are immediate and final):
 * :class:`~repro.algorithms.baselines.RandomOnlineSolver` — the ``Random``
   baseline.
 
-All solvers return a :class:`~repro.algorithms.base.SolveResult` and can be
-looked up by name through :func:`~repro.algorithms.registry.get_solver`.
+All solvers return a :class:`~repro.algorithms.base.SolveResult`, are
+constructed declaratively from a :class:`~repro.algorithms.spec.SolverSpec`
+through :func:`~repro.algorithms.registry.build_solver` (or by bare name via
+:func:`~repro.algorithms.registry.get_solver`), and can be driven
+incrementally through the :class:`~repro.core.session.Session` protocol via
+:meth:`~repro.algorithms.base.Solver.open_session`.
 """
 
 from repro.algorithms.base import OfflineSolver, OnlineSolver, SolveResult, Solver
@@ -32,11 +36,17 @@ from repro.algorithms.laf import LAFSolver
 from repro.algorithms.aam import AAMSolver
 from repro.algorithms.baselines import BaseOffSolver, RandomOnlineSolver
 from repro.algorithms.exact import ExactSolver
+from repro.algorithms.session import OnlineSolverSession, ReplaySession, open_session
+from repro.algorithms.spec import SolverSpec, SolverSpecLike
 from repro.algorithms.registry import (
     available_solvers,
+    build_solver,
     get_solver,
     register_solver,
+    solver_entry,
     DEFAULT_SOLVER_NAMES,
+    SolverCapabilities,
+    SolverEntry,
 )
 
 __all__ = [
@@ -44,6 +54,13 @@ __all__ = [
     "OfflineSolver",
     "OnlineSolver",
     "SolveResult",
+    "SolverSpec",
+    "SolverSpecLike",
+    "SolverCapabilities",
+    "SolverEntry",
+    "OnlineSolverSession",
+    "ReplaySession",
+    "open_session",
     "latency_lower_bound",
     "latency_upper_bound",
     "mcnaughton_latency",
@@ -55,7 +72,9 @@ __all__ = [
     "RandomOnlineSolver",
     "ExactSolver",
     "available_solvers",
+    "build_solver",
     "get_solver",
     "register_solver",
+    "solver_entry",
     "DEFAULT_SOLVER_NAMES",
 ]

@@ -10,19 +10,25 @@ Two solver families mirror the paper's two scenarios:
   :class:`~repro.core.stream.WorkerStream`, stopping as soon as every task is
   complete (the arrival index of that last useful worker is the latency).
 
-Both return a :class:`SolveResult`.
+Both return a :class:`SolveResult`, and both can be driven incrementally
+through the uniform :class:`~repro.core.session.Session` protocol via
+:meth:`Solver.open_session` — natively for online solvers, through a replay
+adapter for offline ones.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.arrangement import Arrangement, Assignment
 from repro.core.instance import LTCInstance
 from repro.core.stream import WorkerStream
 from repro.core.worker import Worker
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.session import Session
 
 
 @dataclass
@@ -91,6 +97,19 @@ class Solver(abc.ABC):
     def solve(self, instance: LTCInstance) -> SolveResult:
         """Solve the instance and return the resulting arrangement."""
 
+    def open_session(self, instance: LTCInstance) -> "Session":
+        """Open an incremental :class:`~repro.core.session.Session`.
+
+        The default adapter plans with :meth:`solve` on the full instance
+        when the first worker arrives and replays the plan arrival by
+        arrival, which is the correct semantics for offline solvers (they
+        legitimately see the whole worker sequence).  Online solvers
+        override this with a native session.
+        """
+        from repro.algorithms.session import ReplaySession
+
+        return ReplaySession(self, instance)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -127,6 +146,12 @@ class OnlineSolver(Solver):
         """Whether every task has reached the quality threshold."""
         return self.arrangement.is_complete()
 
+    def open_session(self, instance: LTCInstance) -> "Session":
+        """Open a native incremental session over start/observe."""
+        from repro.algorithms.session import OnlineSolverSession
+
+        return OnlineSolverSession(self, instance)
+
     def solve(
         self,
         instance: LTCInstance,
@@ -134,29 +159,14 @@ class OnlineSolver(Solver):
     ) -> SolveResult:
         """Drive the solver over a worker stream until completion.
 
-        Stops at the first worker after which all tasks are complete, or when
-        the stream is exhausted.  A custom ``stream`` can be supplied (e.g. by
-        the simulation engine); by default the instance's workers are streamed
-        in arrival order.
+        Opens a session and feeds it the stream, stopping at the first worker
+        after which all tasks are complete, or when the stream is exhausted.
+        A custom ``stream`` can be supplied (e.g. by the simulation engine);
+        by default the instance's workers are streamed in arrival order.
         """
-        self.start(instance)
         if stream is None:
             stream = WorkerStream(instance.workers)
-        observed = 0
-        for worker in stream:
-            observed += 1
-            self.observe(worker)
-            if self.is_complete():
-                break
-        arrangement = self.arrangement
-        return SolveResult(
-            algorithm=self.name,
-            arrangement=arrangement,
-            completed=arrangement.is_complete(),
-            max_latency=arrangement.max_latency,
-            workers_observed=observed,
-            extra=self.diagnostics(),
-        )
+        return self.open_session(instance).drive(stream)
 
     def diagnostics(self) -> Dict[str, float]:
         """Solver-specific counters included in the result (override freely)."""

@@ -1,0 +1,282 @@
+"""Session implementations for the two solver families.
+
+:class:`OnlineSolverSession` is the native adapter: each
+:meth:`~repro.core.session.Session.on_worker` call is one irrevocable greedy
+decision of the wrapped :class:`~repro.algorithms.base.OnlineSolver`.
+
+:class:`ReplaySession` adapts an :class:`~repro.algorithms.base.OfflineSolver`
+to the same protocol: when the first worker arrives the solver plans on the
+full instance (it is an *offline* algorithm — it legitimately sees the whole
+worker sequence), and the plan is then replayed arrival by arrival.  The
+replay refuses streams that differ from the instance's own workers, because a
+plan computed for one future is meaningless on another.
+
+Both sessions defer solver start-up until the first arrival so that
+:meth:`~repro.core.session.Session.submit_tasks` can still extend the task
+set; afterwards the task set is frozen (assignments are irrevocable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.base import OnlineSolver, Solver, SolveResult
+from repro.core.arrangement import Arrangement, Assignment
+from repro.core.instance import LTCInstance
+from repro.core.session import Session, SessionSnapshot, SessionStateError
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+
+class _SolverSession(Session):
+    """Shared machinery: deferred activation plus pre-arrival task staging."""
+
+    def __init__(self, solver: Solver, instance: LTCInstance) -> None:
+        self._solver = solver
+        self._base_instance = instance
+        self._extra_tasks: List[Task] = []
+        self._instance: Optional[LTCInstance] = None  # set on activation
+        self._observed = 0
+
+    # ----------------------------------------------------------- protocol
+
+    @property
+    def algorithm(self) -> str:
+        return self._solver.name
+
+    @property
+    def workers_observed(self) -> int:
+        """How many workers have been fed so far."""
+        return self._observed
+
+    @property
+    def instance(self) -> LTCInstance:
+        """The effective instance (base tasks plus any submitted extras)."""
+        if self._instance is not None:
+            return self._instance
+        return self._effective_instance()
+
+    def submit_tasks(self, tasks: Sequence[Task]) -> None:
+        if self._instance is not None:
+            raise SessionStateError(
+                "tasks must be submitted before the first worker arrives; "
+                "online assignments are irrevocable, so the task set is "
+                "frozen once serving starts"
+            )
+        known = {task.task_id for task in self._base_instance.tasks}
+        known.update(task.task_id for task in self._extra_tasks)
+        for task in tasks:
+            if task.task_id in known:
+                raise ValueError(f"task id {task.task_id} is already posted")
+            known.add(task.task_id)
+            self._extra_tasks.append(task)
+
+    def on_worker(self, worker: Worker) -> List[Assignment]:
+        self._activate()
+        # Count the arrival only after dispatch succeeds, so a worker the
+        # session *rejects up front* (wrong stream, rebound solver) does not
+        # desync it or inflate workers_observed.  If a solver's observe()
+        # itself fails partway it may already have mutated its arrangement —
+        # sessions make no transactional promise about mid-observe failures.
+        assignments = self._dispatch(worker)
+        self._observed += 1
+        return assignments
+
+    def snapshot(self) -> SessionSnapshot:
+        if self._instance is None:
+            # Not yet activated: nothing observed, nothing assigned.
+            return SessionSnapshot(
+                algorithm=self.algorithm,
+                workers_observed=0,
+                num_assignments=0,
+                tasks_total=len(self._base_instance.tasks) + len(self._extra_tasks),
+                tasks_completed=0,
+                max_latency=0,
+                complete=False,
+            )
+        arrangement = self.arrangement
+        total = len(self._instance.tasks)
+        return SessionSnapshot(
+            algorithm=self.algorithm,
+            workers_observed=self._observed,
+            num_assignments=len(arrangement),
+            tasks_total=total,
+            tasks_completed=total - len(arrangement.uncompleted_tasks()),
+            max_latency=arrangement.max_latency,
+            complete=self.is_complete,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _effective_instance(self) -> LTCInstance:
+        base = self._base_instance
+        if not self._extra_tasks:
+            return base
+        return LTCInstance(
+            tasks=[*base.tasks, *self._extra_tasks],
+            workers=list(base.workers),
+            error_rate=base.error_rate,
+            accuracy_model=base.accuracy_model,
+            name=base.name,
+            min_assignable_accuracy=base.min_assignable_accuracy,
+        )
+
+    def _activate(self) -> None:
+        if self._instance is None:
+            self._instance = self._effective_instance()
+            self._start(self._instance)
+
+    # Subclass hooks -----------------------------------------------------
+
+    @property
+    def arrangement(self) -> Arrangement:
+        """The arrangement built so far (activates the session if needed)."""
+        raise NotImplementedError
+
+    def _start(self, instance: LTCInstance) -> None:
+        raise NotImplementedError
+
+    def _dispatch(self, worker: Worker) -> List[Assignment]:
+        raise NotImplementedError
+
+
+class OnlineSolverSession(_SolverSession):
+    """Native session over an online solver's start/observe loop.
+
+    A solver object holds one mutable arrangement, so it can serve only one
+    live session at a time; activating a new session rebinds the solver, and
+    any further use of a superseded session raises
+    :class:`~repro.core.session.SessionStateError` instead of silently
+    corrupting the newer session's state.  Build one solver per concurrent
+    session (e.g. via :func:`~repro.algorithms.registry.build_solver`).
+    """
+
+    def __init__(self, solver: OnlineSolver, instance: LTCInstance) -> None:
+        if not solver.is_online:
+            raise TypeError("OnlineSolverSession requires an online solver")
+        super().__init__(solver, instance)
+        self._online: OnlineSolver = solver
+
+    @property
+    def arrangement(self) -> Arrangement:
+        self._activate()
+        self._check_binding()
+        return self._online.arrangement
+
+    @property
+    def is_complete(self) -> bool:
+        if self._instance is None:
+            return False
+        self._check_binding()
+        return self._online.arrangement.is_complete()
+
+    def _check_binding(self) -> None:
+        bound = getattr(self._online, "_active_session", None)
+        if bound is not self:
+            raise SessionStateError(
+                f"solver {self._online.name!r} has been rebound to another "
+                "session since this one started; a solver object serves one "
+                "live session at a time — build one solver per session"
+            )
+
+    def _start(self, instance: LTCInstance) -> None:
+        self._online.start(instance)
+        self._online._active_session = self
+
+    def _dispatch(self, worker: Worker) -> List[Assignment]:
+        self._check_binding()
+        return self._online.observe(worker)
+
+    def result(self) -> SolveResult:
+        self._activate()
+        self._check_binding()
+        arrangement = self._online.arrangement
+        return SolveResult(
+            algorithm=self.algorithm,
+            arrangement=arrangement,
+            completed=arrangement.is_complete(),
+            max_latency=arrangement.max_latency,
+            workers_observed=self._observed,
+            extra=self._online.diagnostics(),
+        )
+
+
+class ReplaySession(_SolverSession):
+    """Adapts an offline solver to the incremental protocol by replaying.
+
+    On activation the offline solver plans over the *full* instance (tasks
+    and the whole worker sequence — exactly the information the offline
+    scenario grants it); :meth:`on_worker` then releases the plan's
+    assignments for each arriving worker.  The fed stream must be the
+    instance's own workers in arrival order.
+    """
+
+    def __init__(self, solver: Solver, instance: LTCInstance) -> None:
+        super().__init__(solver, instance)
+        self._plan: Dict[int, List[int]] = {}
+        self._replayed: Optional[Arrangement] = None
+        self._pending_assignments = 0
+        self._plan_extra: Dict[str, float] = {}
+
+    @property
+    def arrangement(self) -> Arrangement:
+        self._activate()
+        assert self._replayed is not None
+        return self._replayed
+
+    @property
+    def is_complete(self) -> bool:
+        if self._replayed is None:
+            return False
+        return self._pending_assignments == 0 and self._replayed.is_complete()
+
+    def _start(self, instance: LTCInstance) -> None:
+        planned = self._solver.solve(instance)
+        self._plan = {}
+        for assignment in planned.arrangement.assignments:
+            self._plan.setdefault(assignment.worker_index, []).append(
+                assignment.task_id
+            )
+            self._pending_assignments += 1
+        self._plan_extra = dict(planned.extra)
+        self._replayed = instance.new_arrangement()
+
+    def _dispatch(self, worker: Worker) -> List[Assignment]:
+        assert self._instance is not None and self._replayed is not None
+        expected = self._observed + 1
+        if worker.index != expected:
+            raise SessionStateError(
+                f"replay session expected worker {expected}, got "
+                f"{worker.index}; offline plans replay only over the "
+                "instance's own stream in arrival order"
+            )
+        if worker != self._instance.worker(worker.index):
+            raise SessionStateError(
+                f"worker {worker.index} differs from the instance's worker at "
+                "that arrival; offline plans replay only over the instance's "
+                "own stream"
+            )
+        assignments: List[Assignment] = []
+        for task_id in self._plan.get(worker.index, ()):
+            assignments.append(
+                self._replayed.assign(worker, self._instance.task(task_id))
+            )
+            self._pending_assignments -= 1
+        return assignments
+
+    def result(self) -> SolveResult:
+        self._activate()
+        assert self._replayed is not None
+        return SolveResult(
+            algorithm=self.algorithm,
+            arrangement=self._replayed,
+            completed=self._replayed.is_complete(),
+            max_latency=self._replayed.max_latency,
+            workers_observed=self._observed,
+            extra=dict(self._plan_extra),
+        )
+
+
+def open_session(solver: Solver, instance: LTCInstance) -> Session:
+    """Open the right kind of session for any solver (functional spelling)."""
+    return solver.open_session(instance)

@@ -1,0 +1,206 @@
+"""Typed, parseable solver specifications.
+
+A :class:`SolverSpec` names a registered solver together with the constructor
+parameters it should be built with, so configuration (CLI flags, experiment
+definitions, service requests) stays declarative.  Specs have a compact
+string form modelled on URL queries::
+
+    "AAM"                                      -> SolverSpec("AAM")
+    "MCF-LTC?batch_multiplier=2.0"             -> SolverSpec("MCF-LTC",
+                                                     {"batch_multiplier": 2.0})
+    "Random?seed=7&skip_completed=true"        -> SolverSpec("Random",
+                                                     {"seed": 7,
+                                                      "skip_completed": True})
+
+Parameter values are typed by their syntax: ``true``/``false`` parse to
+booleans, digit strings to ints, decimal strings to floats, everything else
+stays a string.  ``str(spec)`` renders the same syntax back (parameters in
+sorted order), so specs round-trip: ``SolverSpec.parse(str(spec)) == spec``.
+
+:func:`repro.algorithms.registry.build_solver` turns a spec (or anything
+:meth:`SolverSpec.coerce` accepts — a spec, a string, or a dict) into a
+solver instance, validating the parameters against the registry entry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Union
+
+#: Parameter values a spec can carry (what the string syntax can express).
+ParamValue = Union[bool, int, float, str]
+
+#: Anything :meth:`SolverSpec.coerce` accepts.
+SolverSpecLike = Union["SolverSpec", str, Mapping[str, Any]]
+
+_RESERVED = set("?&=")
+
+
+def _parse_value(text: str) -> ParamValue:
+    """Type a raw parameter value by its syntax."""
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _format_value(value: ParamValue) -> str:
+    """Render a parameter value so that :func:`_parse_value` recovers it."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """A solver name plus the keyword arguments to construct it with.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the solver (e.g. ``"MCF-LTC"``).
+    params:
+        Constructor keyword arguments.  Validated against the registry
+        entry's declared parameters by
+        :func:`~repro.algorithms.registry.build_solver`.
+    """
+
+    name: str
+    params: Mapping[str, ParamValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str):
+            raise ValueError(
+                f"solver name must be a string, got {type(self.name).__name__}"
+            )
+        if not self.name or not self.name.strip():
+            raise ValueError("a solver spec needs a non-empty name")
+        if _RESERVED & set(self.name):
+            raise ValueError(
+                f"solver name {self.name!r} may not contain any of '?&='"
+            )
+        for key, value in self.params.items():
+            if not key or _RESERVED & set(key):
+                raise ValueError(f"invalid parameter name {key!r}")
+            if not isinstance(value, (bool, int, float, str)):
+                raise ValueError(
+                    f"parameter {key!r} has unsupported value {value!r}; the "
+                    "spec syntax can carry bool, int, float and str values"
+                )
+            if isinstance(value, float) and math.isnan(value):
+                raise ValueError(
+                    f"parameter {key!r} is NaN, which cannot survive a "
+                    "round trip (NaN never compares equal)"
+                )
+            if isinstance(value, str):
+                if _RESERVED & set(value):
+                    raise ValueError(
+                        f"parameter {key}={value!r} may not contain any of '?&='"
+                    )
+                # The string syntax types values by their text, so a string
+                # that reads as a bool/int/float cannot survive a round trip;
+                # reject it rather than let str(spec) change its type.
+                reparsed = _parse_value(value)
+                if not (isinstance(reparsed, str) and reparsed == value):
+                    raise ValueError(
+                        f"string value {value!r} for parameter {key!r} would "
+                        f"re-parse as {type(reparsed).__name__}; pass it as "
+                        f"{reparsed!r} instead"
+                    )
+        # Freeze a private copy so later mutation of the caller's dict cannot
+        # change the spec (the dataclass itself is frozen).
+        object.__setattr__(self, "params", dict(self.params))
+
+    def __hash__(self) -> int:
+        # The generated hash would choke on the params dict; specs are value
+        # objects, so hash the same content equality compares.
+        return hash((self.name, tuple(sorted(self.params.items()))))
+
+    # -------------------------------------------------------------- parsing
+
+    @classmethod
+    def parse(cls, text: str) -> "SolverSpec":
+        """Parse a spec string like ``"MCF-LTC?batch_multiplier=2.0"``."""
+        if not isinstance(text, str):
+            raise TypeError(f"expected a spec string, got {type(text).__name__}")
+        name, separator, query = text.partition("?")
+        params: Dict[str, ParamValue] = {}
+        if separator and query:
+            for pair in query.split("&"):
+                key, eq, raw = pair.partition("=")
+                if not eq or not key:
+                    raise ValueError(
+                        f"malformed parameter {pair!r} in spec {text!r}; "
+                        "expected key=value pairs separated by '&'"
+                    )
+                if key in params:
+                    raise ValueError(f"duplicate parameter {key!r} in spec {text!r}")
+                params[key] = _parse_value(raw)
+        elif separator:
+            raise ValueError(f"spec {text!r} has a '?' but no parameters")
+        return cls(name=name.strip(), params=params)
+
+    @classmethod
+    def coerce(cls, value: SolverSpecLike) -> "SolverSpec":
+        """Accept a spec, a spec string, or a ``{"name": ..., "params": ...}`` dict."""
+        if isinstance(value, SolverSpec):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise TypeError(
+            "cannot build a SolverSpec from "
+            f"{type(value).__name__}; expected SolverSpec, str or mapping"
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolverSpec":
+        """Build a spec from ``{"name": ..., "params": {...}}`` (params optional)."""
+        try:
+            name = data["name"]
+        except KeyError:
+            raise ValueError("spec dict needs a 'name' key") from None
+        unknown = set(data) - {"name", "params"}
+        if unknown:
+            raise ValueError(
+                f"unexpected spec keys {sorted(unknown)}; only 'name' and "
+                "'params' are allowed"
+            )
+        return cls(name=name, params=dict(data.get("params") or {}))
+
+    # ------------------------------------------------------------ rendering
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-friendly ``{"name": ..., "params": {...}}`` form."""
+        return {"name": self.name, "params": dict(self.params)}
+
+    def with_params(self, **params: ParamValue) -> "SolverSpec":
+        """A copy of the spec with additional / overridden parameters."""
+        merged = dict(self.params)
+        merged.update(params)
+        return SolverSpec(name=self.name, params=merged)
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.name
+        query = "&".join(
+            f"{key}={_format_value(self.params[key])}" for key in sorted(self.params)
+        )
+        return f"{self.name}?{query}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SolverSpec.parse({str(self)!r})"

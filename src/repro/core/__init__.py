@@ -6,6 +6,10 @@ quality threshold delta = 2*ln(1/epsilon), arrangements with their three
 constraints (invariable, capacity, error-rate) and the offline/online problem
 instances.  The NP-hardness reduction gadget (Theorem 1) and the paper's
 running example (Tables I/II) are also provided, mostly for the test-suite.
+
+The incremental :class:`~repro.core.session.Session` protocol — the uniform
+arrival-by-arrival surface every solver exposes through
+:meth:`~repro.algorithms.base.Solver.open_session` — also lives here.
 """
 
 from repro.core.task import Task
@@ -26,6 +30,7 @@ from repro.core.quality_threshold import (
 from repro.core.arrangement import Arrangement, Assignment
 from repro.core.candidates import CandidateFinder, sigmoid_eligibility_radius
 from repro.core.instance import LTCInstance
+from repro.core.session import Session, SessionSnapshot, SessionStateError
 from repro.core.stream import WorkerStream
 from repro.core.exceptions import (
     LTCError,
@@ -52,6 +57,9 @@ __all__ = [
     "CandidateFinder",
     "sigmoid_eligibility_radius",
     "LTCInstance",
+    "Session",
+    "SessionSnapshot",
+    "SessionStateError",
     "WorkerStream",
     "LTCError",
     "ConstraintViolation",

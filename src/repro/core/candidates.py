@@ -99,8 +99,15 @@ class CandidateFinder:
         """Whether ``worker`` may be assigned ``task``."""
         return self._model.accuracy(worker, task) >= self._min_accuracy - 1e-12
 
-    def candidates(self, worker: Worker) -> List[Task]:
-        """All tasks the worker may be assigned, in ascending task-id order."""
+    def _eligible_pool(self, worker: Worker, ordered: bool) -> Sequence[Task]:
+        """Tasks within the worker's eligibility radius, before the final
+        per-pair accuracy check (empty when no task can ever qualify).
+
+        ``ordered`` sorts the grid hits by task id (the contract of
+        :meth:`candidates`); the unordered form skips the sort for
+        short-circuiting callers.  Without a grid the pool is simply every
+        task, in instance order either way.
+        """
         if self._grid is not None and isinstance(self._model, SigmoidDistanceAccuracy):
             radius = sigmoid_eligibility_radius(
                 worker.accuracy, self._model.d_max, self._min_accuracy
@@ -108,10 +115,25 @@ class CandidateFinder:
             if radius < 0:
                 return []
             nearby_ids = self._grid.query_radius(worker.location, radius)
-            tasks = [self._tasks_by_id[task_id] for task_id in sorted(nearby_ids)]
-        else:
-            tasks = self._instance.tasks
-        return [task for task in tasks if self.is_eligible(worker, task)]
+            if ordered:
+                nearby_ids = sorted(nearby_ids)
+            return [self._tasks_by_id[task_id] for task_id in nearby_ids]
+        return self._instance.tasks
+
+    def candidates(self, worker: Worker) -> List[Task]:
+        """All tasks the worker may be assigned, in ascending task-id order."""
+        pool = self._eligible_pool(worker, ordered=True)
+        return [task for task in pool if self.is_eligible(worker, task)]
+
+    def has_candidates(self, worker: Worker) -> bool:
+        """Whether at least one task is assignable to the worker.
+
+        Short-circuits on the first eligible task and skips the id sort, so
+        it is the cheap eligibility test for hot paths (the service layer's
+        routing decision) where the full candidate list is not needed.
+        """
+        pool = self._eligible_pool(worker, ordered=False)
+        return any(self.is_eligible(worker, task) for task in pool)
 
     def candidate_count_per_task(self) -> Dict[int, int]:
         """For every task, the number of workers eligible to perform it.

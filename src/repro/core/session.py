@@ -1,0 +1,129 @@
+"""Incremental solving sessions — the service-facing protocol.
+
+The paper's setting is inherently a service: tasks are posted, workers check
+in one at a time, and every assignment is an irrevocable online decision.  A
+:class:`Session` is the uniform incremental surface over that loop:
+
+* :meth:`Session.submit_tasks` posts additional tasks **before** the first
+  worker arrives (assignments are irrevocable, so the task set freezes once
+  serving starts);
+* :meth:`Session.on_worker` feeds one arriving worker and returns the
+  assignments committed for it;
+* :meth:`Session.snapshot` reports cheap progress counters at any point;
+* :meth:`Session.result` finalises the run into a
+  :class:`~repro.algorithms.base.SolveResult`.
+
+Every solver opens sessions through
+:meth:`~repro.algorithms.base.Solver.open_session`: online solvers implement
+the protocol natively (each ``on_worker`` call is one greedy decision), while
+offline solvers are adapted through a replay session that plans on the full
+instance and replays the plan arrival by arrival.  The simulation engine,
+the experiment runner and the :mod:`repro.service` dispatch layer all drive
+solvers through this one API.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence
+
+from repro.core.arrangement import Assignment
+from repro.core.task import Task
+from repro.core.worker import Worker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
+    from repro.algorithms.base import SolveResult
+
+
+class SessionStateError(RuntimeError):
+    """An operation was issued in a state the session cannot honour.
+
+    Raised e.g. when tasks are submitted after the first worker has arrived
+    (the online task set is frozen once serving starts) or when a replay
+    session is fed a stream that differs from the one its plan was computed
+    on.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class SessionSnapshot:
+    """Cheap progress counters of a session at one point in time."""
+
+    algorithm: str
+    workers_observed: int
+    num_assignments: int
+    tasks_total: int
+    tasks_completed: int
+    max_latency: int
+    complete: bool
+
+    @property
+    def tasks_remaining(self) -> int:
+        """Tasks that have not yet reached the quality threshold."""
+        return self.tasks_total - self.tasks_completed
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numbers for logs and service metrics."""
+        return {
+            "workers_observed": float(self.workers_observed),
+            "assignments": float(self.num_assignments),
+            "tasks_total": float(self.tasks_total),
+            "tasks_completed": float(self.tasks_completed),
+            "max_latency": float(self.max_latency),
+            "complete": float(self.complete),
+        }
+
+
+class Session(abc.ABC):
+    """One incremental solve: tasks posted up front, workers fed one by one."""
+
+    @property
+    @abc.abstractmethod
+    def algorithm(self) -> str:
+        """Registry name of the solver serving this session."""
+
+    @property
+    @abc.abstractmethod
+    def is_complete(self) -> bool:
+        """Whether feeding further workers can no longer change the outcome."""
+
+    @abc.abstractmethod
+    def submit_tasks(self, tasks: Sequence[Task]) -> None:
+        """Post additional tasks; only allowed before the first worker arrives.
+
+        Raises
+        ------
+        SessionStateError
+            If a worker has already been observed (assignments are
+            irrevocable, so the task set freezes once serving starts).
+        """
+
+    @abc.abstractmethod
+    def on_worker(self, worker: Worker) -> List[Assignment]:
+        """Feed one arriving worker; return the assignments committed for it."""
+
+    @abc.abstractmethod
+    def snapshot(self) -> SessionSnapshot:
+        """Current progress counters (does not advance the session)."""
+
+    @abc.abstractmethod
+    def result(self) -> "SolveResult":
+        """Finalise the run so far into a solve result."""
+
+    def drive(
+        self,
+        workers: Iterable[Worker],
+        stop_when_complete: bool = True,
+    ) -> "SolveResult":
+        """Feed a whole worker stream and return the final result.
+
+        Stops at the first worker after which the session is complete (the
+        paper's setting), or when the stream is exhausted.  Pass
+        ``stop_when_complete=False`` to consume the entire stream.
+        """
+        for worker in workers:
+            self.on_worker(worker)
+            if stop_when_complete and self.is_complete:
+                break
+        return self.result()

@@ -1,19 +1,23 @@
-"""Command-line entry point: ``ltc-experiments``.
+"""Command-line entry point: ``repro-experiments``.
 
 Examples
 --------
 List the available experiments::
 
-    ltc-experiments --list
+    repro-experiments --list
 
 Run the Fig. 3a/e/i column at the default scaled-down size and print its
 latency / runtime / memory tables::
 
-    ltc-experiments fig3_tasks
+    repro-experiments fig3_tasks
 
 Run a larger version of the epsilon sweep with more repetitions::
 
-    ltc-experiments fig4_epsilon --scale 0.05 --repetitions 5
+    repro-experiments fig4_epsilon --scale 0.05 --repetitions 5
+
+Algorithms may be bare registry names or parameterized spec strings::
+
+    repro-experiments fig3_tasks --algorithms LAF "MCF-LTC?batch_multiplier=2.0"
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from repro.experiments.report import render_table
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
-        prog="ltc-experiments",
+        prog="repro-experiments",
         description="Reproduce the evaluation of 'Latency-oriented Task "
         "Completion via Spatial Crowdsourcing' (ICDE 2018).",
     )
@@ -42,7 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--repetitions", type=int, default=None,
                         help="repetitions per setting (paper uses 30)")
     parser.add_argument("--algorithms", nargs="*", default=None,
-                        help="subset of algorithms to run")
+                        help="subset of algorithms to run; accepts registry "
+                        "names and spec strings like "
+                        "'MCF-LTC?batch_multiplier=2.0'")
     parser.add_argument("--no-memory", action="store_true",
                         help="skip peak-memory metering (faster)")
     parser.add_argument("--quiet", action="store_true",

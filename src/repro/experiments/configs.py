@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.algorithms.registry import DEFAULT_SOLVER_NAMES
+from repro.algorithms.spec import SolverSpec
 from repro.core.instance import LTCInstance
 from repro.datagen.distributions import NormalAccuracy, UniformAccuracy
 from repro.datagen.foursquare import NEW_YORK, TOKYO, CheckinCityConfig, generate_checkin_instance
@@ -65,6 +66,47 @@ class ExperimentDefinition:
     default_scale: float = 0.05
     default_repetitions: int = 2
     seed: int = 2018
+    #: Optional per-sweep solver specs, for sweeps that vary a *solver*
+    #: parameter rather than an instance parameter (the batch ablation maps
+    #: each sweep value to "MCF-LTC?batch_multiplier=<value>").  When the
+    #: caller overrides ``algorithms``, requested bare names still pick up
+    #: the sweep's parameters; specs with explicit parameters win.
+    sweep_algorithms: Optional[Callable[[float], Sequence[str]]] = None
+
+    def _algorithms_for_sweep(
+        self, algorithms: Optional[Sequence[str]]
+    ) -> Optional[Callable[[float], Sequence[str]]]:
+        """The per-sweep spec mapping the runner should use, if any.
+
+        With no ``algorithms`` override the definition's mapping applies
+        directly.  With an override, a requested bare name is replaced by
+        the sweep's parameterized spec of the same name (so
+        ``--algorithms MCF-LTC`` on the batch ablation still sweeps the
+        multiplier), while requested specs with explicit parameters, and
+        names the mapping does not produce, run as requested.
+        """
+        if self.sweep_algorithms is None:
+            return None
+        if algorithms is None:
+            return self.sweep_algorithms
+        requested = [SolverSpec.coerce(item) for item in algorithms]
+        base = self.sweep_algorithms
+
+        def mapped(sweep_value: float) -> Sequence[object]:
+            swept = {}
+            for item in base(sweep_value):
+                spec = SolverSpec.coerce(item[1] if isinstance(item, tuple) else item)
+                swept[spec.name] = spec
+            # Swept replacements are plain specs (the runner labels them by
+            # name); pinned or unmapped requests keep their full label.
+            return [
+                str(swept[spec.name])
+                if spec.name in swept and not spec.params
+                else (str(spec), str(spec))
+                for spec in requested
+            ]
+
+        return mapped
 
     def instance_factory(self, scale: float) -> InstanceFactory:
         """An :class:`InstanceFactory` bound to this definition and ``scale``."""
@@ -86,6 +128,7 @@ class ExperimentDefinition:
         """Create the runner for this experiment."""
         scale = self.default_scale if scale is None else scale
         repetitions = self.default_repetitions if repetitions is None else repetitions
+        algorithms_for_sweep = self._algorithms_for_sweep(algorithms)
         algorithms = list(self.algorithms if algorithms is None else algorithms)
         sweep_values = list(self.sweep_values if sweep_values is None else sweep_values)
         return ExperimentRunner(
@@ -97,6 +140,7 @@ class ExperimentDefinition:
             repetitions=repetitions,
             track_memory=track_memory,
             progress=progress,
+            algorithms_for_sweep=algorithms_for_sweep,
         )
 
 
@@ -229,9 +273,14 @@ def _make_fig4_tokyo(definition, sweep_value, repetition, scale):
 
 def _make_ablation_batch(definition, sweep_value, repetition, scale):
     # The sweep value is the batch multiplier; the instance itself uses the
-    # default synthetic setting.  The harness overrides the MCF-LTC solver per
-    # sweep value (see repro.experiments.harness.run_experiment).
+    # default synthetic setting.  ``sweep_algorithms`` below maps the sweep
+    # value onto the MCF-LTC solver spec.
     return _synthetic_instance(definition, sweep_value, repetition, scale)
+
+
+def _ablation_batch_algorithms(sweep_value: float) -> List[str]:
+    """MCF-LTC built with the sweep value as its batch multiplier."""
+    return [f"MCF-LTC?batch_multiplier={float(sweep_value)}"]
 
 
 def _make_ablation_aam(definition, sweep_value, repetition, scale):
@@ -336,6 +385,7 @@ ABLATION_BATCH = _register(ExperimentDefinition(
     sweep_values=[0.5, 1.0, 2.0, 4.0],
     make_instance=_make_ablation_batch,
     algorithms=["MCF-LTC"],
+    sweep_algorithms=_ablation_batch_algorithms,
 ))
 
 ABLATION_AAM = _register(ExperimentDefinition(

@@ -1,51 +1,31 @@
 """Running experiments end-to-end.
 
-:func:`run_experiment` resolves an experiment id, builds its runner (applying
-any ablation-specific solver overrides) and returns the populated
-:class:`~repro.simulation.results.ResultTable`.  The CLI and the benchmark
-files are thin wrappers over this function.
+:func:`run_experiment` resolves an experiment id, builds its runner and
+returns the populated :class:`~repro.simulation.results.ResultTable`.  The
+CLI and the benchmark files are thin wrappers over this function.
+
+Solver configuration is fully declarative: ``algorithms`` accepts registry
+names and parameterized spec strings (``"MCF-LTC?batch_multiplier=2.0"``)
+alike, and experiments whose sweep varies a solver parameter (the batch-size
+ablation) declare the per-sweep specs on their
+:class:`~repro.experiments.configs.ExperimentDefinition` — there are no
+harness-level solver overrides.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-from repro.algorithms.mcf_ltc import MCFLTCSolver
-from repro.experiments.configs import ExperimentDefinition, get_experiment
+from repro.algorithms.spec import SolverSpecLike
+from repro.experiments.configs import get_experiment
 from repro.simulation.results import ResultTable
-from repro.simulation.runner import ExperimentRunner
-
-
-def _apply_ablation_overrides(
-    definition: ExperimentDefinition, runner: ExperimentRunner
-) -> ExperimentRunner:
-    """Install per-experiment solver overrides (currently batch ablation)."""
-    if definition.experiment_id != "ablation_batch_size":
-        return runner
-
-    # The batch ablation runs MCF-LTC once per sweep value with the batch
-    # multiplier equal to that value.  The runner calls the factory per
-    # record, and the sweep value is not passed to factories, so we install a
-    # stateful override fed by a wrapped instance factory.
-    current_multiplier = {"value": 1.0}
-    original_factory = runner.instance_factory
-
-    def tracking_factory(sweep_value: float, repetition: int):
-        current_multiplier["value"] = float(sweep_value)
-        return original_factory(sweep_value, repetition)
-
-    runner.instance_factory = tracking_factory
-    runner.solver_overrides = {
-        "MCF-LTC": lambda: MCFLTCSolver(batch_multiplier=current_multiplier["value"]),
-    }
-    return runner
 
 
 def run_experiment(
     experiment_id: str,
     scale: Optional[float] = None,
     repetitions: Optional[int] = None,
-    algorithms: Optional[Sequence[str]] = None,
+    algorithms: Optional[Sequence[SolverSpecLike]] = None,
     sweep_values: Optional[Sequence[float]] = None,
     track_memory: bool = True,
     progress: Optional[Callable[[str], None]] = None,
@@ -53,7 +33,9 @@ def run_experiment(
     """Run one of the paper's experiments and return its result table.
 
     Parameters mirror :meth:`ExperimentDefinition.build_runner`; leaving them
-    ``None`` uses the definition's scaled-down defaults.
+    ``None`` uses the definition's scaled-down defaults.  ``algorithms``
+    entries may be bare solver names or spec strings like
+    ``"MCF-LTC?batch_multiplier=2.0"``.
     """
     definition = get_experiment(experiment_id)
     runner = definition.build_runner(
@@ -64,5 +46,4 @@ def run_experiment(
         track_memory=track_memory,
         progress=progress,
     )
-    runner = _apply_ablation_overrides(definition, runner)
     return runner.run()

@@ -1,0 +1,28 @@
+"""Service layer: serving many LTC instances from one worker stream.
+
+This package is the first step toward the roadmap's heavy-traffic serving
+story.  It builds on the incremental :class:`~repro.core.session.Session`
+protocol: the :class:`LTCDispatcher` multiplexes many concurrent named
+sessions, routes each arriving worker to the sessions it is eligible for
+(a geographic proximity test under the paper's sigmoid accuracy model),
+and aggregates throughput/latency metrics across the fleet of sessions.
+
+See ``examples/dispatch_service.py`` for an end-to-end scenario serving
+three concurrent campaigns from a single merged check-in stream.
+"""
+
+from repro.service.dispatcher import (
+    DuplicateSessionError,
+    LTCDispatcher,
+    SessionStatus,
+    UnknownSessionError,
+)
+from repro.service.metrics import DispatcherMetrics
+
+__all__ = [
+    "LTCDispatcher",
+    "SessionStatus",
+    "DispatcherMetrics",
+    "DuplicateSessionError",
+    "UnknownSessionError",
+]

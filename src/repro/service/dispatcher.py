@@ -1,0 +1,306 @@
+"""Multi-instance dispatch: many concurrent LTC sessions, one worker stream.
+
+A production crowdsourcing platform does not solve one instance at a time —
+campaigns (instances) overlap in time and share the stream of checking-in
+workers.  :class:`LTCDispatcher` is that serving surface:
+
+* :meth:`~LTCDispatcher.submit_instance` opens a named incremental
+  :class:`~repro.core.session.Session` for an instance, served by any
+  registered *online* solver (offline solvers replay a plan over their
+  instance's own stream, which is incompatible with routed live traffic);
+* :meth:`~LTCDispatcher.feed_worker` takes one arrival from the merged
+  stream and routes it to every open session for which the worker is
+  *eligible* — able to perform at least one of the session's tasks above the
+  instance's assignable-accuracy threshold, which under the paper's sigmoid
+  accuracy model is a geographic proximity test;
+* :meth:`~LTCDispatcher.poll` reports per-session progress snapshots;
+* :meth:`~LTCDispatcher.close` finalises a session into its
+  :class:`~repro.algorithms.base.SolveResult`.
+
+Latency is measured in *per-session* arrivals, exactly as in the
+single-instance setting: a worker delivered to a session is re-indexed into
+that session's local arrival order, so a session's ``max_latency`` equals
+what a standalone run over its routed sub-stream would report.  Sessions
+that complete stop receiving workers, mirroring how a single-instance drive
+stops at completion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Union
+
+from repro.algorithms.base import Solver, SolveResult
+from repro.algorithms.registry import build_solver
+from repro.algorithms.spec import SolverSpecLike
+from repro.core.arrangement import Assignment
+from repro.core.candidates import CandidateFinder
+from repro.core.instance import LTCInstance
+from repro.core.session import Session, SessionSnapshot
+from repro.core.worker import Worker
+from repro.service.metrics import DispatcherMetrics
+
+
+class UnknownSessionError(KeyError):
+    """A session id that the dispatcher does not know."""
+
+
+class DuplicateSessionError(ValueError):
+    """A session id that is already in use."""
+
+
+@dataclass(frozen=True)
+class SessionStatus:
+    """One session's progress as reported by :meth:`LTCDispatcher.poll`."""
+
+    session_id: str
+    algorithm: str
+    workers_routed: int
+    snapshot: SessionSnapshot
+
+    @property
+    def max_latency(self) -> int:
+        """Largest per-session arrival index among used workers."""
+        return self.snapshot.max_latency
+
+    @property
+    def complete(self) -> bool:
+        """Whether every task of the session reached the quality threshold."""
+        return self.snapshot.complete
+
+
+@dataclass
+class _ManagedSession:
+    """Internal bookkeeping for one open session."""
+
+    session_id: str
+    instance: LTCInstance
+    session: Session
+    candidates: CandidateFinder
+    solver: Solver
+    workers_routed: int = 0
+    #: Completion is monotone, so it is cached here once observed — the
+    #: dispatch hot path must not re-scan a finished session's task set on
+    #: every arrival.
+    complete: bool = False
+    routed_stream: Optional[List[Worker]] = None
+
+    def deliver(self, worker: Worker) -> List[Assignment]:
+        """Re-index ``worker`` into local arrival order and feed the session."""
+        local = replace(worker, index=self.workers_routed + 1)
+        assignments = self.session.on_worker(local)
+        self.workers_routed += 1
+        if self.routed_stream is not None:
+            self.routed_stream.append(local)
+        return assignments
+
+
+class LTCDispatcher:
+    """Routes one merged worker stream across many concurrent sessions.
+
+    Parameters
+    ----------
+    default_solver:
+        Spec used by :meth:`submit_instance` when none is given (name,
+        spec string, or :class:`~repro.algorithms.spec.SolverSpec`).
+    keep_streams:
+        Record each session's routed sub-stream (re-indexed workers) so it
+        can be replayed standalone with :meth:`routed_stream` — used by the
+        dispatch demo and tests to verify per-session latencies match
+        single-session runs.  Off by default to keep memory flat under
+        heavy traffic.
+    """
+
+    def __init__(
+        self,
+        default_solver: SolverSpecLike = "AAM",
+        keep_streams: bool = False,
+    ) -> None:
+        self._default_solver = default_solver
+        self._keep_streams = keep_streams
+        self._sessions: Dict[str, _ManagedSession] = {}
+        self._metrics = DispatcherMetrics()
+        self._auto_id = 0
+
+    # ------------------------------------------------------------- sessions
+
+    def submit_instance(
+        self,
+        instance: LTCInstance,
+        solver: Union[SolverSpecLike, Solver, None] = None,
+        session_id: Optional[str] = None,
+    ) -> str:
+        """Open a session serving ``instance`` and return its id.
+
+        ``solver`` may be a registry name, a spec string such as
+        ``"AAM?use_spatial_index=false"``, a
+        :class:`~repro.algorithms.spec.SolverSpec`, or an already-built
+        :class:`~repro.algorithms.base.Solver`; it defaults to the
+        dispatcher's ``default_solver``.  Only *online* solvers are
+        accepted: offline solvers plan over their instance's own worker
+        sequence and replay it verbatim, which is incompatible with being
+        fed a routed sub-stream of merged live traffic.
+        """
+        if session_id is None:
+            self._auto_id += 1
+            session_id = f"session-{self._auto_id}"
+        if session_id in self._sessions:
+            raise DuplicateSessionError(
+                f"session id {session_id!r} is already in use"
+            )
+        if isinstance(solver, Solver):
+            solver_obj = solver
+            for managed in self._sessions.values():
+                if managed.solver is solver_obj:
+                    raise ValueError(
+                        f"solver object {solver_obj!r} already serves session "
+                        f"{managed.session_id!r}; a solver holds one mutable "
+                        "arrangement, so build one solver per session"
+                    )
+        else:
+            solver_obj = build_solver(solver if solver is not None
+                                      else self._default_solver)
+        if not solver_obj.is_online:
+            raise ValueError(
+                f"solver {solver_obj.name!r} is offline: its replay session "
+                "must be fed its instance's own worker sequence, not routed "
+                "live traffic; dispatch sessions require an online solver"
+            )
+        # The dispatcher keeps its own CandidateFinder per session for the
+        # routing test; the solver builds another internally.  Two grid
+        # indexes per session is a deliberate trade-off: routing must work
+        # before the session activates and without reaching into solver
+        # internals, and index construction is O(tasks) once per session.
+        managed = _ManagedSession(
+            session_id=session_id,
+            instance=instance,
+            session=solver_obj.open_session(instance),
+            candidates=CandidateFinder(instance),
+            solver=solver_obj,
+            routed_stream=[] if self._keep_streams else None,
+        )
+        self._sessions[session_id] = managed
+        self._metrics.sessions_opened += 1
+        return session_id
+
+    @property
+    def session_ids(self) -> List[str]:
+        """Ids of all open (not yet closed) sessions, in submission order."""
+        return list(self._sessions)
+
+    @property
+    def all_complete(self) -> bool:
+        """Whether every open session has completed (vacuously true if none)."""
+        return all(managed.complete for managed in self._sessions.values())
+
+    # ------------------------------------------------------------ streaming
+
+    def feed_worker(self, worker: Worker) -> Dict[str, List[Assignment]]:
+        """Route one arriving worker; return the assignments per session.
+
+        The worker is delivered to every open, still-incomplete session it is
+        eligible for (it can perform at least one of the session's tasks).
+        Eligibility is deliberately *static* — a worker near only-completed
+        tasks still counts as a session arrival — so the per-session latency
+        axis means the same thing for the whole run, exactly as a standalone
+        drive of that sub-stream would count it.  The returned mapping has an
+        entry for each session the worker reached, possibly with an empty
+        assignment list when the session's solver declined to use the worker.
+        """
+        started = time.perf_counter()
+        self._metrics.workers_fed += 1
+        deliveries: Dict[str, List[Assignment]] = {}
+        for managed in self._sessions.values():
+            if managed.complete:
+                continue
+            if not managed.candidates.has_candidates(worker):
+                continue
+            assignments = managed.deliver(worker)
+            deliveries[managed.session_id] = assignments
+            self._metrics.workers_routed += 1
+            self._metrics.assignments_made += len(assignments)
+            if managed.session.is_complete:
+                managed.complete = True
+                self._metrics.sessions_completed += 1
+        if not deliveries:
+            self._metrics.workers_unrouted += 1
+        self._metrics.busy_seconds += time.perf_counter() - started
+        return deliveries
+
+    def feed_stream(self, workers, stop_when_all_complete: bool = True) -> int:
+        """Feed a whole merged stream; return how many arrivals were consumed.
+
+        Stops early once every session is complete (the default), mirroring
+        how a single-instance drive stops at completion.
+        """
+        consumed = 0
+        for worker in workers:
+            if stop_when_all_complete and self.all_complete:
+                break
+            self.feed_worker(worker)
+            consumed += 1
+        return consumed
+
+    # ----------------------------------------------------------- inspection
+
+    def poll(self) -> Dict[str, SessionStatus]:
+        """Progress snapshots of every open session, keyed by session id."""
+        return {
+            session_id: SessionStatus(
+                session_id=session_id,
+                algorithm=managed.session.algorithm,
+                workers_routed=managed.workers_routed,
+                snapshot=managed.session.snapshot(),
+            )
+            for session_id, managed in self._sessions.items()
+        }
+
+    def routed_stream(self, session_id: str) -> List[Worker]:
+        """The re-indexed sub-stream delivered to a session so far.
+
+        Only available when the dispatcher was built with
+        ``keep_streams=True``.
+        """
+        managed = self._managed(session_id)
+        if managed.routed_stream is None:
+            raise RuntimeError(
+                "routed streams are not recorded; build the dispatcher with "
+                "keep_streams=True"
+            )
+        return list(managed.routed_stream)
+
+    @property
+    def metrics(self) -> DispatcherMetrics:
+        """Aggregate serving counters (live object)."""
+        return self._metrics
+
+    # -------------------------------------------------------------- closing
+
+    def close(self, session_id: str) -> SolveResult:
+        """Finalise one session, remove it, and return its solve result."""
+        managed = self._managed(session_id)
+        # Finalise before removing: if result() fails the session stays
+        # open (retryable) and the metrics stay truthful.
+        result = managed.session.result()
+        del self._sessions[session_id]
+        self._metrics.sessions_closed += 1
+        return result
+
+    def close_all(self) -> Dict[str, SolveResult]:
+        """Finalise every open session, in submission order."""
+        return {
+            session_id: self.close(session_id)
+            for session_id in list(self._sessions)
+        }
+
+    # ------------------------------------------------------------ internals
+
+    def _managed(self, session_id: str) -> _ManagedSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            known = ", ".join(self._sessions) or "<none>"
+            raise UnknownSessionError(
+                f"unknown session {session_id!r}; open sessions: {known}"
+            ) from None

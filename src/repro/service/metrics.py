@@ -1,0 +1,75 @@
+"""Aggregate serving metrics for the dispatch layer.
+
+The dispatcher serves many sessions from one worker stream; these counters
+answer the operational questions — how much traffic arrived, how much of it
+was routable, how many assignments were committed, and how fast the dispatch
+hot path is running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class DispatcherMetrics:
+    """Counters accumulated by an :class:`~repro.service.LTCDispatcher`.
+
+    Attributes
+    ----------
+    sessions_opened / sessions_completed / sessions_closed:
+        Lifecycle counts.  ``completed`` counts sessions whose every task
+        reached the quality threshold while being fed; ``closed`` counts
+        explicit :meth:`~repro.service.LTCDispatcher.close` calls.
+    workers_fed:
+        Arrivals offered to the dispatcher.
+    workers_routed:
+        Deliveries to sessions (one arrival routed to three sessions counts
+        three).
+    workers_unrouted:
+        Arrivals no open session could use (outside every session's
+        eligibility region, or all sessions already complete).
+    assignments_made:
+        Total (worker, task) assignments committed across all sessions.
+    busy_seconds:
+        Wall-clock time spent inside the dispatch hot path.
+    """
+
+    sessions_opened: int = 0
+    sessions_completed: int = 0
+    sessions_closed: int = 0
+    workers_fed: int = 0
+    workers_routed: int = 0
+    workers_unrouted: int = 0
+    assignments_made: int = 0
+    busy_seconds: float = 0.0
+
+    @property
+    def routed_fraction(self) -> float:
+        """Fraction of fed arrivals delivered to at least one session."""
+        if self.workers_fed == 0:
+            return 0.0
+        return (self.workers_fed - self.workers_unrouted) / self.workers_fed
+
+    @property
+    def throughput_per_second(self) -> float:
+        """Arrivals dispatched per busy second (0 before any traffic)."""
+        if self.busy_seconds <= 0.0:
+            return 0.0
+        return self.workers_fed / self.busy_seconds
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numbers for logs and reports."""
+        return {
+            "sessions_opened": float(self.sessions_opened),
+            "sessions_completed": float(self.sessions_completed),
+            "sessions_closed": float(self.sessions_closed),
+            "workers_fed": float(self.workers_fed),
+            "workers_routed": float(self.workers_routed),
+            "workers_unrouted": float(self.workers_unrouted),
+            "assignments_made": float(self.assignments_made),
+            "busy_seconds": self.busy_seconds,
+            "routed_fraction": self.routed_fraction,
+            "throughput_per_second": self.throughput_per_second,
+        }

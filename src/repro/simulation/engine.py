@@ -1,12 +1,12 @@
 """Arrival-by-arrival online simulation.
 
 :class:`OnlineSimulation` drives an online solver through a worker stream one
-arrival at a time, recording what happened at every step.  It is the
-fine-grained counterpart of :meth:`OnlineSolver.solve`: the experiment runner
-uses the latter for speed, while examples, tests and anyone studying the
-dynamics of the online algorithms use the simulation for its event log
+arrival at a time, recording what happened at every step.  Like everything
+else it drives the solver through its :class:`~repro.core.session.Session`,
+but unlike the plain :meth:`Session.drive` loop it keeps a full event log
 (per-arrival assignments, completion progress, the exact arrival at which
-each task completed).
+each task completed) for examples, tests and anyone studying the dynamics of
+the online algorithms.
 """
 
 from __future__ import annotations
@@ -82,8 +82,7 @@ class OnlineSimulation:
             (the paper's setting).  When false the whole stream is consumed,
             which is useful for studying post-completion behaviour.
         """
-        solver = self._solver
-        solver.start(instance)
+        session = self._solver.open_session(instance)
         if stream is None:
             stream = WorkerStream(instance.workers)
 
@@ -92,8 +91,8 @@ class OnlineSimulation:
         previously_complete: set[int] = set()
 
         for worker in stream:
-            assignments = solver.observe(worker)
-            arrangement = solver.arrangement
+            assignments = session.on_worker(worker)
+            arrangement = self._solver.arrangement
             newly_completed = []
             for assignment in assignments:
                 task_id = assignment.task_id
@@ -114,15 +113,7 @@ class OnlineSimulation:
             if stop_when_complete and arrangement.is_complete():
                 break
 
-        arrangement = solver.arrangement
-        result = SolveResult(
-            algorithm=solver.name,
-            arrangement=arrangement,
-            completed=arrangement.is_complete(),
-            max_latency=arrangement.max_latency,
-            workers_observed=len(events),
-            extra=solver.diagnostics(),
-        )
+        result = session.result()
         return SimulationOutcome(
             result=result,
             events=events,

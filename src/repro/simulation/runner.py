@@ -4,15 +4,23 @@ The paper repeats every experimental setting 30 times and reports averages.
 The runner reproduces that protocol: for every sweep value it generates
 ``repetitions`` instances (with derived seeds), runs every configured solver
 on each instance, meters runtime/memory, and records the results.
+
+Solvers are configured declaratively as
+:class:`~repro.algorithms.spec.SolverSpec`-likes — bare registry names,
+spec strings such as ``"MCF-LTC?batch_multiplier=2.0"``, or spec objects.
+When an experiment needs solver parameters that track the sweep itself (the
+batch-size ablation), ``algorithms_for_sweep`` maps each sweep value to the
+specs to run at that value.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.algorithms.base import Solver
-from repro.algorithms.registry import get_solver
+from repro.algorithms.registry import build_solver
+from repro.algorithms.spec import SolverSpec, SolverSpecLike
 from repro.core.instance import LTCInstance
 from repro.simulation.metrics import measure_solver
 from repro.simulation.results import ExperimentRecord, ResultTable
@@ -36,29 +44,78 @@ class ExperimentRunner:
     instance_factory:
         Callable building the instance for a sweep value and repetition.
     algorithms:
-        Solver registry names to compare.
+        Solver specs to compare: registry names, spec strings, or
+        :class:`~repro.algorithms.spec.SolverSpec` objects.  Records are
+        labelled with the full spec string.
     repetitions:
         How many times to repeat each setting (paper: 30).
     track_memory:
         Whether to meter peak memory (slows runs down slightly).
     progress:
         Optional callback ``(message) -> None`` for long sweeps.
+    algorithms_for_sweep:
+        Optional mapping from a sweep value to the specs to run at that
+        value, overriding ``algorithms``.  Used when the sweep varies a
+        *solver parameter* (e.g. the batch-size ablation); records are then
+        labelled with the bare solver name, since the sweep value already
+        identifies the varying parameter.  An entry may also be an explicit
+        ``(label, spec)`` pair for specs that do not follow the sweep.
     """
 
     experiment_id: str
     sweep_parameter: str
     sweep_values: Sequence[float]
     instance_factory: InstanceFactory
-    algorithms: Sequence[str]
+    algorithms: Sequence[SolverSpecLike]
     repetitions: int = 3
     track_memory: bool = True
     progress: Optional[Callable[[str], None]] = None
-    solver_overrides: Dict[str, Callable[[], Solver]] = field(default_factory=dict)
+    algorithms_for_sweep: Optional[
+        Callable[[float], Sequence[Union[SolverSpecLike, Tuple[str, SolverSpecLike]]]]
+    ] = None
 
-    def _make_solver(self, name: str) -> Solver:
-        if name in self.solver_overrides:
-            return self.solver_overrides[name]()
-        return get_solver(name)
+    def _labelled_specs(self, sweep_value: float) -> List[Tuple[str, SolverSpec]]:
+        """The (record label, spec) pairs to run at one sweep value.
+
+        Specs from ``algorithms_for_sweep`` are the sweep-varying series, so
+        they are labelled with the bare solver name — stable no matter how
+        many sweep values a run covers, which keeps series mergeable across
+        partial runs.  The mapping may instead yield an explicit
+        ``(label, spec)`` pair for entries that do *not* follow the sweep
+        (pinned parameters), so the table never shows a bare name next to a
+        sweep column the parameters did not track.  Bare-name labels are
+        widened to the full spec string when they would merge distinct specs
+        of one solver.
+        """
+        if self.algorithms_for_sweep is None:
+            return [
+                (str(spec), spec)
+                for spec in (SolverSpec.coerce(item) for item in self.algorithms)
+            ]
+        explicit: List[Tuple[Optional[str], SolverSpec]] = []
+        for item in self.algorithms_for_sweep(sweep_value):
+            if isinstance(item, tuple):
+                label, spec = item
+                explicit.append((str(label), SolverSpec.coerce(spec)))
+            else:
+                explicit.append((None, SolverSpec.coerce(item)))
+        name_counts = Counter(
+            spec.name for label, spec in explicit if label is None
+        )
+        taken = {label for label, _ in explicit if label is not None}
+        return [
+            (
+                label
+                if label is not None
+                else (
+                    spec.name
+                    if name_counts[spec.name] == 1 and spec.name not in taken
+                    else str(spec)
+                ),
+                spec,
+            )
+            for label, spec in explicit
+        ]
 
     def _report(self, message: str) -> None:
         if self.progress is not None:
@@ -68,10 +125,11 @@ class ExperimentRunner:
         """Execute the full sweep and return the populated table."""
         table = ResultTable(self.experiment_id, self.sweep_parameter)
         for value in self.sweep_values:
+            labelled = self._labelled_specs(value)
             for repetition in range(self.repetitions):
                 instance = self.instance_factory(value, repetition)
-                for algorithm in self.algorithms:
-                    solver = self._make_solver(algorithm)
+                for label, spec in labelled:
+                    solver = build_solver(spec)
                     measurement = measure_solver(
                         solver, instance, track_memory=self.track_memory
                     )
@@ -79,7 +137,7 @@ class ExperimentRunner:
                         experiment_id=self.experiment_id,
                         sweep_parameter=self.sweep_parameter,
                         sweep_value=float(value),
-                        algorithm=algorithm,
+                        algorithm=label,
                         repetition=repetition,
                         max_latency=float(measurement.result.max_latency),
                         completed=measurement.result.completed,
@@ -90,7 +148,7 @@ class ExperimentRunner:
                     table.add(record)
                     self._report(
                         f"[{self.experiment_id}] {self.sweep_parameter}={value} "
-                        f"rep={repetition} {algorithm}: "
+                        f"rep={repetition} {label}: "
                         f"latency={measurement.result.max_latency} "
                         f"time={measurement.runtime_seconds:.2f}s"
                     )

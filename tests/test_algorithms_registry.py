@@ -33,6 +33,45 @@ class TestRegistry:
             get_solver("does-not-exist")
         assert "known solvers" in str(excinfo.value)
 
+    def test_unknown_name_suggests_the_closest_registered_name(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_solver("MCF-LTD")
+        message = str(excinfo.value)
+        assert "did you mean 'MCF-LTC'?" in message
+        assert "known solvers" in message
+
+    def test_get_solver_accepts_spec_strings(self):
+        solver = get_solver("MCF-LTC?batch_multiplier=2.0")
+        assert solver.name == "MCF-LTC"
+        assert solver.batch_multiplier == 2.0
+
+    def test_entries_declare_parameters_and_capabilities(self):
+        from repro.algorithms.registry import solver_entry
+
+        mcf = solver_entry("MCF-LTC")
+        assert "batch_multiplier" in mcf.parameters
+        assert mcf.capabilities.supports_batch
+        assert not mcf.capabilities.online
+
+        aam = solver_entry("AAM")
+        assert aam.capabilities.online
+        assert not aam.capabilities.supports_batch
+
+        random_entry = solver_entry("Random")
+        assert random_entry.capabilities.randomized
+        assert solver_entry("Exact").capabilities.exact
+
+        described = mcf.describe()
+        assert described["name"] == "MCF-LTC"
+        assert "supports_batch" in described["capabilities"]
+
+    def test_registering_spec_reserved_names_is_rejected(self):
+        from repro.algorithms.baselines import BaseOffSolver
+
+        for bad in ("My?Solver", "a&b", "a=b", "", "padded ", " padded"):
+            with pytest.raises(ValueError):
+                register_solver(bad, BaseOffSolver, overwrite=True)
+
     def test_register_custom_solver_and_overwrite_protection(self):
         class DummySolver(OfflineSolver):
             name = "Dummy-test-solver"

@@ -95,3 +95,15 @@ class TestCandidateFinder:
         finder = CandidateFinder(instance)
         counts = finder.candidate_count_per_task()
         assert counts == {0: 1, 1: 0}
+
+
+class TestHasCandidates:
+    def test_agrees_with_the_full_candidate_list(self, small_synthetic_instance):
+        from repro.core.candidates import CandidateFinder
+
+        indexed = CandidateFinder(small_synthetic_instance, use_spatial_index=True)
+        scanned = CandidateFinder(small_synthetic_instance, use_spatial_index=False)
+        for worker in small_synthetic_instance.workers[:50]:
+            expected = bool(indexed.candidates(worker))
+            assert indexed.has_candidates(worker) == expected
+            assert scanned.has_candidates(worker) == expected

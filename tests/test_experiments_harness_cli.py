@@ -38,6 +38,47 @@ class TestRunExperiment:
         }
         assert batch_sizes[0.5] < batch_sizes[2.0]
 
+    def test_ablation_sweep_survives_explicit_algorithms(self):
+        # A requested bare name picks up the sweep's parameters, exactly as
+        # the pre-spec harness override did.
+        table = run_experiment("ablation_batch_size", sweep_values=[0.5, 2.0],
+                               algorithms=["MCF-LTC"], **TINY)
+        assert set(table.algorithms()) == {"MCF-LTC"}
+        # Labels are stable regardless of how many sweep values a run covers,
+        # so partial runs stay mergeable into one series.
+        single = run_experiment("ablation_batch_size", sweep_values=[2.0], **TINY)
+        assert set(single.algorithms()) == {"MCF-LTC"}
+        batch_sizes = {
+            record.sweep_value: record.extra["batch_size"]
+            for record in table.records
+        }
+        assert batch_sizes[0.5] < batch_sizes[2.0]
+
+    def test_explicit_parameters_override_the_ablation_sweep(self):
+        table = run_experiment(
+            "ablation_batch_size", sweep_values=[0.5, 2.0],
+            algorithms=["MCF-LTC?batch_multiplier=1.0"], **TINY)
+        batch_sizes = {
+            record.extra["batch_size"] for record in table.records
+        }
+        assert len(batch_sizes) == 1  # pinned multiplier, no sweep
+        # A pinned spec keeps its full label: the table must not show a bare
+        # name next to a sweep column its parameters did not follow.
+        assert set(table.algorithms()) == {"MCF-LTC?batch_multiplier=1.0"}
+
+    def test_algorithms_accept_spec_strings(self):
+        table = run_experiment(
+            "fig3_tasks", sweep_values=[1000],
+            algorithms=["LAF", "MCF-LTC?batch_multiplier=2.0"], **TINY)
+        assert set(table.algorithms()) == {"LAF", "MCF-LTC?batch_multiplier=2.0"}
+        batch_records = [
+            record for record in table.records
+            if record.algorithm.startswith("MCF-LTC")
+        ]
+        assert batch_records and all(
+            record.extra["batch_size"] > 0 for record in batch_records
+        )
+
     def test_checkin_experiment_runs(self):
         table = run_experiment("fig4_newyork", sweep_values=[0.22],
                                algorithms=["LAF", "Random"], **TINY)

@@ -1,8 +1,5 @@
 """Tests for the experiment runner."""
 
-import pytest
-
-from repro.algorithms.mcf_ltc import MCFLTCSolver
 from repro.core.accuracy import ConstantAccuracy
 from repro.core.instance import LTCInstance
 from repro.core.task import Task
@@ -56,26 +53,75 @@ class TestExperimentRunner:
         assert len(messages) == 1
         assert "toy" in messages[0] and "LAF" in messages[0]
 
-    def test_solver_overrides_take_precedence(self):
-        override_calls = []
-
-        def make_override():
-            override_calls.append(1)
-            return MCFLTCSolver(batch_multiplier=2.0)
-
+    def test_spec_strings_parameterize_solvers(self):
         runner = ExperimentRunner(
             experiment_id="toy",
             sweep_parameter="|T|",
-            sweep_values=[1],
+            sweep_values=[2],
             instance_factory=toy_factory,
+            algorithms=["MCF-LTC?batch_multiplier=0.5", "MCF-LTC?batch_multiplier=4.0"],
+            repetitions=1,
+            track_memory=False,
+        )
+        table = runner.run()
+        assert set(table.algorithms()) == {
+            "MCF-LTC?batch_multiplier=0.5",
+            "MCF-LTC?batch_multiplier=4.0",
+        }
+        batch_sizes = {
+            record.algorithm: record.extra["batch_size"] for record in table.records
+        }
+        assert (batch_sizes["MCF-LTC?batch_multiplier=0.5"]
+                < batch_sizes["MCF-LTC?batch_multiplier=4.0"])
+
+    def test_algorithms_for_sweep_tracks_the_sweep_value(self):
+        sweep_requests = []
+
+        def per_sweep(value):
+            sweep_requests.append(value)
+            return [f"MCF-LTC?batch_multiplier={value}"]
+
+        runner = ExperimentRunner(
+            experiment_id="toy",
+            sweep_parameter="batch_multiplier",
+            sweep_values=[0.5, 2.0],
+            instance_factory=lambda value, repetition: toy_factory(2, repetition),
             algorithms=["MCF-LTC"],
             repetitions=1,
             track_memory=False,
-            solver_overrides={"MCF-LTC": make_override},
+            algorithms_for_sweep=per_sweep,
         )
         table = runner.run()
-        assert override_calls == [1]
-        assert len(table) == 1
+        assert sweep_requests == [0.5, 2.0]
+        # Sweep-supplied specs are labelled with the bare solver name: the
+        # sweep value already identifies the varying parameter.
+        assert set(table.algorithms()) == {"MCF-LTC"}
+        batch_sizes = {
+            record.sweep_value: record.extra["batch_size"]
+            for record in table.records
+        }
+        assert batch_sizes[0.5] < batch_sizes[2.0]
+
+    def test_sweep_labels_stay_distinct_for_same_name_specs(self):
+        runner = ExperimentRunner(
+            experiment_id="toy",
+            sweep_parameter="|T|",
+            sweep_values=[2],
+            instance_factory=toy_factory,
+            algorithms=[],
+            repetitions=1,
+            track_memory=False,
+            algorithms_for_sweep=lambda value: [
+                "MCF-LTC?batch_multiplier=0.5",
+                "MCF-LTC?batch_multiplier=4.0",
+            ],
+        )
+        table = runner.run()
+        # Two parameterizations of one solver must not merge into one label.
+        assert set(table.algorithms()) == {
+            "MCF-LTC?batch_multiplier=0.5",
+            "MCF-LTC?batch_multiplier=4.0",
+        }
 
     def test_latency_scales_with_sweep_value(self):
         runner = ExperimentRunner(
