@@ -1,0 +1,192 @@
+"""Microbenchmark: array flow kernel vs the pre-refactor object-graph SSPA.
+
+Builds LTC-shaped batch reductions (source -> workers -> tasks -> sink,
+negative real-valued worker->task costs, exactly what ``MCFLTCSolver``
+feeds the flow layer per batch) at several batch sizes and times one full
+solve through each implementation:
+
+* **legacy** — the retained pre-kernel path (:mod:`repro.flow.reference`):
+  ``Edge`` objects, dict adjacency, O(V*E) Bellman-Ford initial potentials;
+  network built from scratch, as the old solver did per batch.
+* **kernel** — :class:`repro.flow.kernel.ArcArena` + one O(E) DAG potential
+  pass + :func:`repro.flow.kernel.solve_mcf`.
+
+Each timing covers build + potentials + solve (what MCF-LTC pays per
+batch).  Results (median wall-time per size, augmentation counts, speedups)
+are written as JSON — by default to ``BENCH_flow_kernel.json`` at the repo
+root, the perf trajectory's first data point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_flow_kernel.py
+    PYTHONPATH=src python benchmarks/bench_flow_kernel.py \
+        --sizes 20 40 --repeats 2 --output benchmarks/results/flow_kernel_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.flow.kernel import ArcArena, dag_potentials, solve_mcf
+from repro.flow.reference import LegacyFlowNetwork, legacy_successive_shortest_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_flow_kernel.json"
+
+# Shape parameters mirroring a paper-default batch: epsilon = 0.14 gives
+# delta = 2 ln(1/0.14) ~= 3.93, so every task absorbs ceil(delta) = 4 useful
+# answers; worker capacity K = 6; the batch sizing m = |T| * ceil(delta) / K
+# implies |T| = 1.5 * batch_size tasks per batch.
+CAPACITY = 6
+TASK_NEED = math.ceil(2 * math.log(1 / 0.14))
+TASKS_PER_WORKER = 1.5
+DEGREE = 12  # eligible tasks per worker (grid-index candidates)
+
+
+def build_case(num_workers: int, seed: int):
+    """One LTC-shaped batch reduction as plain data."""
+    rng = random.Random(seed)
+    num_tasks = max(2, int(num_workers * TASKS_PER_WORKER))
+    pairs = []
+    for w in range(num_workers):
+        degree = min(num_tasks, DEGREE)
+        for t in sorted(rng.sample(range(num_tasks), degree)):
+            pairs.append((w, t, rng.uniform(0.1, 1.0)))
+    return num_tasks, pairs
+
+
+def run_legacy(num_workers: int, num_tasks: int, pairs):
+    network = LegacyFlowNetwork()
+    for w in range(num_workers):
+        network.add_edge("s", ("w", w), CAPACITY, 0.0)
+    for w, t, value in pairs:
+        network.add_edge(("w", w), ("t", t), 1, -value)
+    for t in range(num_tasks):
+        network.add_edge(("t", t), "d", TASK_NEED, 0.0)
+    return legacy_successive_shortest_paths(network, "s", "d")
+
+
+def run_kernel(num_workers: int, num_tasks: int, pairs):
+    # Same node layout as MCFLTCSolver: source 0, sink 1, then tasks, then
+    # workers.  Low task ids make Dijkstra's node-id tie-breaking pop
+    # zero-distance task nodes (and then the sink) before exploring more of
+    # the worker frontier.
+    arena = ArcArena(2)  # 0 = source, 1 = sink
+    task_base = arena.add_nodes(num_tasks)
+    worker_base = arena.add_nodes(num_workers)
+    for w in range(num_workers):
+        arena.add_arc(0, worker_base + w, CAPACITY, 0.0)
+    for w, t, value in pairs:
+        arena.add_arc(worker_base + w, task_base + t, 1, -value)
+    for t in range(num_tasks):
+        arena.add_arc(task_base + t, 1, TASK_NEED, 0.0)
+    topo = (
+        [0]
+        + list(range(worker_base, worker_base + num_workers))
+        + list(range(task_base, task_base + num_tasks))
+        + [1]
+    )
+    potentials = dag_potentials(arena, 0, topo)
+    result = solve_mcf(arena, 0, 1, potentials=potentials)
+    return result.flow_value, result.total_cost, result.augmentations
+
+
+def bench_size(num_workers: int, repeats: int, seed: int) -> dict:
+    num_tasks, pairs = build_case(num_workers, seed)
+    # Interleave the two implementations so slow background drift (GC,
+    # other processes) hits both phases equally instead of whichever ran
+    # second.
+    legacy_times, kernel_times = [], []
+    legacy_out = kernel_out = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        legacy_out = run_legacy(num_workers, num_tasks, pairs)
+        legacy_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        kernel_out = run_kernel(num_workers, num_tasks, pairs)
+        kernel_times.append(time.perf_counter() - start)
+    legacy_s = statistics.median(legacy_times)
+    kernel_s = statistics.median(kernel_times)
+    legacy_value, legacy_cost, legacy_augs = legacy_out
+    kernel_value, kernel_cost, kernel_augs = kernel_out
+    if kernel_value != legacy_value or abs(kernel_cost - legacy_cost) > 1e-6:
+        raise AssertionError(
+            f"implementations disagree at {num_workers} workers: "
+            f"kernel ({kernel_value}, {kernel_cost}) vs "
+            f"legacy ({legacy_value}, {legacy_cost})"
+        )
+    return {
+        "batch_workers": num_workers,
+        "tasks": num_tasks,
+        "pair_arcs": len(pairs),
+        "flow_value": kernel_value,
+        "total_cost": kernel_cost,
+        "legacy_ms_median": round(legacy_s * 1000, 3),
+        "kernel_ms_median": round(kernel_s * 1000, 3),
+        "legacy_ms_best": round(min(legacy_times) * 1000, 3),
+        "kernel_ms_best": round(min(kernel_times) * 1000, 3),
+        "speedup": round(legacy_s / kernel_s, 2) if kernel_s > 0 else float("inf"),
+        "kernel_augmentations": kernel_augs,
+        "legacy_augmentations": legacy_augs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=[50, 200, 800],
+                        help="batch sizes (workers) to benchmark")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per size (median reported)")
+    parser.add_argument("--seed", type=int, default=20180416)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    results = []
+    for size in args.sizes:
+        entry = bench_size(size, args.repeats, args.seed)
+        results.append(entry)
+        print(
+            f"batch={entry['batch_workers']:>5}  tasks={entry['tasks']:>5}  "
+            f"legacy={entry['legacy_ms_median']:>9.2f}ms  "
+            f"kernel={entry['kernel_ms_median']:>8.2f}ms  "
+            f"speedup={entry['speedup']:>6.2f}x  "
+            f"augmentations={entry['kernel_augmentations']}"
+        )
+
+    report = {
+        "benchmark": "flow_kernel",
+        "description": (
+            "Per-batch MCF-LTC flow solve: array kernel (ArcArena + DAG "
+            "potentials + solve_mcf) vs the pre-refactor object-graph SSPA "
+            "(Edge objects, dict adjacency, Bellman-Ford). Times are medians "
+            "over repeated build+solve runs."
+        ),
+        "config": {
+            "sizes": args.sizes,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "capacity": CAPACITY,
+            "task_need": TASK_NEED,
+            "degree": DEGREE,
+            "python": platform.python_version(),
+        },
+        "results": results,
+        "largest_batch_speedup": results[-1]["speedup"] if results else None,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,13 +30,19 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def _env_float(name: str) -> Optional[float]:
+    # Explicit None/blank checks: a truthiness test would silently treat
+    # legitimate zero values like REPRO_BENCH_SCALE=0 as "unset".
     value = os.environ.get(name)
-    return float(value) if value else None
+    if value is None or not value.strip():
+        return None
+    return float(value)
 
 
 def _env_int(name: str) -> Optional[int]:
     value = os.environ.get(name)
-    return int(value) if value else None
+    if value is None or not value.strip():
+        return None
+    return int(value)
 
 
 def regenerate_figure(
@@ -45,10 +51,11 @@ def regenerate_figure(
     sweep_values: Optional[Sequence[float]] = None,
 ):
     """Run one experiment end to end and persist its rendered tables."""
+    repetitions = _env_int("REPRO_BENCH_REPETITIONS")
     table = run_experiment(
         experiment_id,
         scale=_env_float("REPRO_BENCH_SCALE"),
-        repetitions=_env_int("REPRO_BENCH_REPETITIONS") or 1,
+        repetitions=1 if repetitions is None else repetitions,
         algorithms=algorithms,
         sweep_values=sweep_values,
         track_memory=True,

@@ -19,9 +19,22 @@ The paper proves a 7.5 approximation ratio for ``epsilon <= e^-1.5``.
 
 Implementation notes
 --------------------
-* Edge costs receive a vanishing per-worker-index penalty so that, among
-  cost-equal optimal flows, SSPA prefers workers that arrived earlier —
-  consistent with the latency objective and deterministic across runs.
+* The reduction runs directly on the flow kernel's
+  :class:`~repro.flow.kernel.ArcArena`: integer node ids end to end
+  (source 0, sink 1, then task nodes, then per-batch worker nodes), arc-id
+  lookups instead of edge objects, and **one arena reused across batches**
+  — each batch rolls the arena back to the persistent task->sink prefix
+  with :meth:`~repro.flow.kernel.ArcArena.truncate` and refreshes the
+  task->sink capacities from the arrangement's accumulated quality, instead
+  of rebuilding the network from scratch.
+* Because at zero flow the batch network is a 3-layer DAG
+  (source -> workers -> tasks -> sink), initial Johnson potentials come
+  from :func:`~repro.flow.kernel.dag_potentials` in one O(E) pass; the
+  O(V*E) Bellman-Ford of the generic path is never run.
+* Determinism among cost-equal optimal flows comes from the kernel's
+  stable tie-breaking (arc-insertion order; workers are inserted in
+  arrival order, tasks ascending by id), not from perturbing the costs —
+  see the ``index_tiebreak`` parameter.
 * The first batch uses ``floor(1.5 m)`` workers and subsequent batches
   ``floor(m)`` workers with ``m = |T| * ceil(delta) / K``, exactly as in the
   pseudo-code.
@@ -30,7 +43,7 @@ Implementation notes
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.algorithms.base import OfflineSolver, SolveResult
 from repro.core.arrangement import Arrangement
@@ -38,12 +51,11 @@ from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
 from repro.core.task import Task
 from repro.core.worker import Worker
-from repro.flow.network import FlowNetwork
-from repro.flow.sspa import successive_shortest_paths
+from repro.flow.kernel import ArcArena, dag_potentials, solve_mcf
 from repro.structures.topk import TopKHeap
 
-_SOURCE = "__source__"
-_SINK = "__sink__"
+_SOURCE = 0
+_SINK = 1
 
 
 class MCFLTCSolver(OfflineSolver):
@@ -60,9 +72,13 @@ class MCFLTCSolver(OfflineSolver):
         grid index.  Disabling it adds every pair with an eligible accuracy
         after an exhaustive scan (slower, identical results).
     index_tiebreak:
-        Add a vanishing penalty favouring earlier workers among cost-equal
-        flows.  Disable only when comparing raw flow costs against an
-        external MCF solver.
+        Accepted for spec compatibility; no longer alters arc costs.
+        Earlier implementations added a vanishing ``1e-9``-scale per-worker
+        penalty to order cost-equal flows, which could underflow against
+        real cost differences on large batches.  The flow kernel now
+        breaks ties deterministically by stable arc-insertion order
+        (workers in arrival order, tasks ascending), so results are
+        reproducible with unperturbed costs regardless of this flag.
     """
 
     name = "MCF-LTC"
@@ -94,6 +110,21 @@ class MCFLTCSolver(OfflineSolver):
         first_batch_size = max(1, math.floor(1.5 * base_batch))
         batch_size = max(1, math.floor(base_batch))
 
+        # Persistent arena prefix, built once: source, sink, one node and
+        # one sink arc per task.  Batches roll back to this watermark.
+        arena = ArcArena()
+        arena.add_nodes(2)  # _SOURCE, _SINK
+        task_nodes: Dict[int, int] = {}
+        task_sink_arcs: List[Tuple[int, int]] = []  # (task_id, arc_id)
+        # Capacities start at 0: _solve_batch refreshes every task->sink
+        # capacity from the arrangement's accumulated quality before each
+        # solve, so only the arc structure matters here.
+        for task in instance.tasks:
+            node = arena.add_node()
+            task_nodes[task.task_id] = node
+            task_sink_arcs.append((task.task_id, arena.add_arc(node, _SINK, 0, 0.0)))
+        watermark = arena.watermark()
+
         workers = instance.workers
         position = 0
         batches = 0
@@ -104,7 +135,8 @@ class MCFLTCSolver(OfflineSolver):
             position += len(batch)
             batches += 1
             total_flow += self._solve_batch(
-                instance, arrangement, candidates, batch
+                instance, arrangement, candidates, batch,
+                arena, watermark, task_nodes, task_sink_arcs,
             )
             self._greedy_fill(instance, arrangement, candidates, batch)
 
@@ -129,73 +161,62 @@ class MCFLTCSolver(OfflineSolver):
         arrangement: Arrangement,
         candidates: CandidateFinder,
         batch: Sequence[Worker],
+        arena: ArcArena,
+        watermark: Tuple[int, int],
+        task_nodes: Dict[int, int],
+        task_sink_arcs: Sequence[Tuple[int, int]],
     ) -> int:
         """Run the MCF reduction for one batch and apply the resulting flow."""
-        uncompleted = [
-            instance.task(task_id) for task_id in arrangement.uncompleted_tasks()
-        ]
-        if not uncompleted or not batch:
+        uncompleted_ids = set(arrangement.uncompleted_tasks())
+        if not uncompleted_ids or not batch:
             return 0
 
-        network, pair_edges = self._build_network(
-            instance, arrangement, candidates, batch, uncompleted
-        )
-        if not pair_edges:
-            return 0
-        result = successive_shortest_paths(network, _SOURCE, _SINK)
+        # Reuse the arena: drop the previous batch's worker nodes/arcs and
+        # refresh how many more useful answers each task can absorb.
+        arena.truncate(*watermark)
+        delta = arrangement.delta
+        accumulated_of = arrangement.accumulated_of
+        for task_id, arc in task_sink_arcs:
+            need = delta - accumulated_of(task_id)
+            arena.set_capacity(arc, max(0, math.ceil(need - 1e-12)))
 
-        # Apply every unit of flow on a worker->task edge as an assignment.
-        for (worker_index, task_id), edge in pair_edges.items():
-            if edge.flow > 0:
-                worker = instance.worker(worker_index)
-                task = instance.task(task_id)
+        # Append this batch's worker nodes and arcs (Fig. 2a), streaming the
+        # eligible pairs straight into the arena.  ``eligible_pairs`` yields
+        # grouped by worker with tasks ascending, so the arc order — and
+        # therefore the kernel's tie-breaking — is stable.
+        acc_star = instance.acc_star
+        pair_arcs: List[Tuple[Worker, Task, int]] = []
+        worker_nodes: List[int] = []
+        current_worker = None
+        worker_node = -1
+        for worker, task in candidates.eligible_pairs(batch, uncompleted_ids):
+            if worker is not current_worker:
+                current_worker = worker
+                worker_node = arena.add_node()
+                worker_nodes.append(worker_node)
+                arena.add_arc(_SOURCE, worker_node, worker.capacity, 0.0)
+            arc = arena.add_arc(
+                worker_node, task_nodes[task.task_id], 1, -acc_star(worker, task)
+            )
+            pair_arcs.append((worker, task, arc))
+        if not pair_arcs:
+            return 0
+
+        # The zero-flow batch network is a source -> workers -> tasks -> sink
+        # DAG, so one O(E) pass over that order replaces Bellman-Ford.
+        topo_order = [_SOURCE]
+        topo_order += worker_nodes
+        topo_order += task_nodes.values()
+        topo_order.append(_SINK)
+        potentials = dag_potentials(arena, _SOURCE, topo_order)
+        result = solve_mcf(arena, _SOURCE, _SINK, potentials=potentials)
+
+        # Apply every unit of flow on a worker->task arc as an assignment.
+        arc_flow = arena.flow
+        for worker, task, arc in pair_arcs:
+            if arc_flow[arc] > 0:
                 arrangement.assign(worker, task)
         return result.flow_value
-
-    def _build_network(
-        self,
-        instance: LTCInstance,
-        arrangement: Arrangement,
-        candidates: CandidateFinder,
-        batch: Sequence[Worker],
-        uncompleted: Sequence[Task],
-    ) -> Tuple[FlowNetwork, Dict[Tuple[int, int], "object"]]:
-        """Build the batch flow network of Algorithm 1 (Fig. 2a)."""
-        network = FlowNetwork()
-        network.add_node(_SOURCE)
-        network.add_node(_SINK)
-        delta = arrangement.delta
-
-        # Tie-break penalty: small enough never to flip a real cost
-        # difference, large enough to order equal-cost alternatives.
-        max_index = max(worker.index for worker in batch)
-        epsilon = 1e-9 / (max_index + 1) if self.index_tiebreak else 0.0
-
-        uncompleted_ids = {task.task_id for task in uncompleted}
-        for task in uncompleted:
-            need = delta - arrangement.accumulated_of(task.task_id)
-            sink_capacity = max(0, math.ceil(need - 1e-12))
-            if sink_capacity > 0:
-                network.add_edge(("t", task.task_id), _SINK, sink_capacity, 0.0)
-
-        pair_edges: Dict[Tuple[int, int], "object"] = {}
-        for worker in batch:
-            eligible = [
-                task
-                for task in candidates.candidates(worker)
-                if task.task_id in uncompleted_ids
-            ]
-            if not eligible:
-                continue
-            network.add_edge(_SOURCE, ("w", worker.index), worker.capacity, 0.0)
-            penalty = epsilon * worker.index
-            for task in eligible:
-                cost = -instance.acc_star(worker, task) + penalty
-                edge = network.add_edge(
-                    ("w", worker.index), ("t", task.task_id), 1, cost
-                )
-                pair_edges[(worker.index, task.task_id)] = edge
-        return network, pair_edges
 
     def _greedy_fill(
         self,
@@ -216,7 +237,7 @@ class MCFLTCSolver(OfflineSolver):
             if spare <= 0:
                 continue
             heap: TopKHeap = TopKHeap(spare)
-            for task in candidates.candidates(worker):
+            for task in candidates.iter_candidates(worker):
                 if arrangement.is_task_complete(task.task_id):
                     continue
                 if (worker.index, task.task_id) in arrangement:

@@ -17,7 +17,16 @@ it falls back to scanning all tasks.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.accuracy import AccuracyModel, SigmoidDistanceAccuracy
 from repro.core.instance import LTCInstance
@@ -120,10 +129,45 @@ class CandidateFinder:
             return [self._tasks_by_id[task_id] for task_id in nearby_ids]
         return self._instance.tasks
 
+    def iter_candidates(
+        self, worker: Worker, allowed_ids: Optional[AbstractSet[int]] = None
+    ) -> Iterator[Task]:
+        """Lazily yield the worker's assignable tasks in ascending-id order.
+
+        ``allowed_ids`` optionally restricts the yield to a task-id subset
+        (e.g. the uncompleted tasks of a batch) *before* the per-pair
+        accuracy check, so callers pay nothing for tasks they would filter
+        out anyway.  This is the streaming form used to feed the flow
+        kernel's arc arena without building per-worker lists.
+        """
+        pool = self._eligible_pool(worker, ordered=True)
+        if allowed_ids is None:
+            for task in pool:
+                if self.is_eligible(worker, task):
+                    yield task
+        else:
+            for task in pool:
+                if task.task_id in allowed_ids and self.is_eligible(worker, task):
+                    yield task
+
+    def eligible_pairs(
+        self,
+        workers: Iterable[Worker],
+        allowed_ids: Optional[AbstractSet[int]] = None,
+    ) -> Iterator[Tuple[Worker, Task]]:
+        """Bulk-iterate every assignable ``(worker, task)`` pair.
+
+        Pairs stream grouped by worker (in the given worker order) with
+        tasks ascending by id inside each group — exactly the stable arc
+        order the MCF-LTC reduction appends to the kernel arena.
+        """
+        for worker in workers:
+            for task in self.iter_candidates(worker, allowed_ids):
+                yield worker, task
+
     def candidates(self, worker: Worker) -> List[Task]:
         """All tasks the worker may be assigned, in ascending task-id order."""
-        pool = self._eligible_pool(worker, ordered=True)
-        return [task for task in pool if self.is_eligible(worker, task)]
+        return list(self.iter_candidates(worker))
 
     def has_candidates(self, worker: Worker) -> bool:
         """Whether at least one task is assignable to the worker.

@@ -1,35 +1,118 @@
-"""Residual flow-network representation.
+"""Label-addressed compatibility shim over the array kernel.
 
-The network stores directed edges with integer capacities and real-valued
-costs, together with their residual (reverse) twins.  Nodes are arbitrary
-hashable labels so the MCF-LTC reduction can use worker/task objects (or
-their ids) directly.
+Historically this module owned the flow representation: an ``Edge``
+dataclass per arc and dict-of-lists adjacency.  The representation now
+lives in :class:`repro.flow.kernel.ArcArena` — flat parallel arrays indexed
+by integer arc ids.  :class:`FlowNetwork` remains as a thin veneer for
+callers that want hashable node labels and edge objects: it maps labels to
+dense node ids, forwards all numeric state to an embedded arena, and hands
+out lightweight :class:`Edge` views bound to arc ids.
+
+Hot paths (``repro.algorithms.mcf_ltc``) talk to the arena directly and
+never construct these views.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterator, List, Optional
+
+from repro.flow.kernel import ArcArena
 
 Node = Hashable
 
 
-@dataclass(slots=True)
 class Edge:
-    """A directed edge plus its residual state.
+    """A view of one arc in the kernel arena.
 
-    ``flow`` is the amount currently pushed along the edge.  The residual
-    capacity is ``capacity - flow``; the paired reverse edge exposes the same
-    flow with the opposite sign through :attr:`residual_capacity`.
+    Bound edges (created through :meth:`FlowNetwork.add_edge`) read and
+    write the arena's parallel arrays; the paired reverse edge is reachable
+    via :attr:`twin`.  The standalone constructor keeps the historical
+    dataclass signature for callers that build detached edges — those have
+    no twin and raise if one is requested.
     """
 
-    head: Node
-    tail: Node
-    capacity: int
-    cost: float
-    flow: int = 0
-    is_residual: bool = False
-    _twin: Optional["Edge"] = field(default=None, repr=False, compare=False)
+    __slots__ = ("_arena", "_arc", "_network", "_twin",
+                 "_head", "_tail", "_capacity", "_cost", "_flow", "_is_residual")
+
+    def __init__(
+        self,
+        head: Node = None,
+        tail: Node = None,
+        capacity: int = 0,
+        cost: float = 0.0,
+        flow: int = 0,
+        is_residual: bool = False,
+    ) -> None:
+        self._arena: Optional[ArcArena] = None
+        self._arc = -1
+        self._network: Optional["FlowNetwork"] = None
+        self._twin: Optional["Edge"] = None
+        self._head = head
+        self._tail = tail
+        self._capacity = capacity
+        self._cost = cost
+        self._flow = flow
+        self._is_residual = is_residual
+
+    @classmethod
+    def _bound(cls, network: "FlowNetwork", arc: int) -> "Edge":
+        edge = cls()
+        edge._network = network
+        edge._arena = network.arena
+        edge._arc = arc
+        return edge
+
+    # ------------------------------------------------------------ attributes
+
+    @property
+    def arc_id(self) -> int:
+        """The arena arc id (-1 for detached edges)."""
+        return self._arc
+
+    @property
+    def head(self) -> Node:
+        if self._arena is None:
+            return self._head
+        return self._network.label_of(self._arena.head[self._arc])
+
+    @property
+    def tail(self) -> Node:
+        if self._arena is None:
+            return self._tail
+        return self._network.label_of(self._arena.head[self._arc ^ 1])
+
+    @property
+    def capacity(self) -> int:
+        if self._arena is None:
+            return self._capacity
+        return self._arena.cap[self._arc]
+
+    @property
+    def cost(self) -> float:
+        if self._arena is None:
+            return self._cost
+        return self._arena.cost[self._arc]
+
+    @property
+    def flow(self) -> int:
+        if self._arena is None:
+            return self._flow
+        return self._arena.flow[self._arc]
+
+    @flow.setter
+    def flow(self, value: int) -> None:
+        # Direct writes bypass twin bookkeeping, exactly as assigning the
+        # historical dataclass field did; tests use this to corrupt a flow.
+        if self._arena is None:
+            self._flow = value
+        else:
+            self._arena.flow[self._arc] = value
+
+    @property
+    def is_residual(self) -> bool:
+        if self._arena is None:
+            return self._is_residual
+        return bool(self._arc & 1)
 
     @property
     def residual_capacity(self) -> int:
@@ -45,68 +128,82 @@ class Edge:
 
     def push(self, amount: int) -> None:
         """Push ``amount`` units of flow along this edge."""
+        if self._arena is None:
+            raise RuntimeError("cannot push flow on a detached edge")
         if amount < 0:
             raise ValueError("flow amount must be non-negative")
-        if amount > self.residual_capacity:
-            raise ValueError(
-                f"cannot push {amount} units over residual capacity "
-                f"{self.residual_capacity}"
-            )
-        self.flow += amount
-        self.twin.flow -= amount
+        self._arena.push(self._arc, amount)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Edge(tail={self.tail!r}, head={self.head!r}, "
+            f"capacity={self.capacity}, cost={self.cost}, flow={self.flow}, "
+            f"is_residual={self.is_residual})"
+        )
 
 
 class FlowNetwork:
     """A directed graph with capacities and costs for min-cost-flow solving.
 
-    Edges are added with :meth:`add_edge`, which also creates the residual
-    twin.  The adjacency structure exposes both forward and residual edges,
-    which is what SSPA's shortest-path searches operate on.
+    Edges are added with :meth:`add_edge`, which allocates the forward arc
+    and its residual twin in the embedded :class:`ArcArena` and returns the
+    forward :class:`Edge` view.  Solvers access the arena through
+    :attr:`arena` / :meth:`node_id` and run directly over its arrays.
     """
 
     def __init__(self) -> None:
+        self.arena = ArcArena()
+        self._ids: Dict[Node, int] = {}
+        self._labels: List[Node] = []
         self._adjacency: Dict[Node, List[Edge]] = {}
+
+    # -------------------------------------------------------------- identity
 
     def add_node(self, node: Node) -> None:
         """Register ``node`` (idempotent)."""
-        self._adjacency.setdefault(node, [])
+        if node not in self._ids:
+            self._ids[node] = self.arena.add_node()
+            self._labels.append(node)
+            self._adjacency[node] = []
+
+    def node_id(self, node: Node) -> int:
+        """The dense arena id of ``node``."""
+        return self._ids[node]
+
+    def label_of(self, node_id: int) -> Node:
+        """The label of arena node ``node_id``."""
+        return self._labels[node_id]
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All registered nodes."""
+        return list(self._labels)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._ids
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    # ----------------------------------------------------------------- edges
 
     def add_edge(self, tail: Node, head: Node, capacity: int, cost: float) -> Edge:
         """Add a forward edge ``tail -> head`` and its residual twin.
 
-        Returns the forward edge.  Capacities must be non-negative integers;
-        costs may be any finite float (the LTC reduction uses negative costs).
+        Returns the forward edge view.  Capacities must be non-negative
+        integers; costs may be any finite float (the LTC reduction uses
+        negative costs).
         """
-        if capacity < 0:
-            raise ValueError("capacity must be non-negative")
-        if int(capacity) != capacity:
-            raise ValueError("capacity must be an integer")
         self.add_node(tail)
         self.add_node(head)
-        forward = Edge(head=head, tail=tail, capacity=int(capacity), cost=float(cost))
-        backward = Edge(
-            head=tail,
-            tail=head,
-            capacity=0,
-            cost=-float(cost),
-            is_residual=True,
-        )
+        arc = self.arena.add_arc(self._ids[tail], self._ids[head], capacity, cost)
+        forward = Edge._bound(self, arc)
+        backward = Edge._bound(self, arc ^ 1)
         forward._twin = backward
         backward._twin = forward
         self._adjacency[tail].append(forward)
         self._adjacency[head].append(backward)
         return forward
-
-    @property
-    def nodes(self) -> List[Node]:
-        """All registered nodes."""
-        return list(self._adjacency.keys())
-
-    def __contains__(self, node: Node) -> bool:
-        return node in self._adjacency
-
-    def __len__(self) -> int:
-        return len(self._adjacency)
 
     def edges_from(self, node: Node) -> List[Edge]:
         """Forward and residual edges leaving ``node``."""
@@ -119,25 +216,26 @@ class FlowNetwork:
                 if not edge.is_residual:
                     yield edge
 
+    # ----------------------------------------------------------------- state
+
     def total_cost(self) -> float:
         """Total cost of the current flow (sum of cost * flow on forward edges)."""
-        return sum(edge.cost * edge.flow for edge in self.forward_edges())
+        return self.arena.total_cost()
 
     def outflow(self, node: Node) -> int:
         """Net flow leaving ``node`` over forward edges minus flow entering it."""
+        node_id = self._ids.get(node)
+        if node_id is None:
+            return 0
+        head, flow = self.arena.head, self.arena.flow
         net = 0
-        for other_edges in self._adjacency.values():
-            for edge in other_edges:
-                if edge.is_residual:
-                    continue
-                if edge.tail == node:
-                    net += edge.flow
-                if edge.head == node:
-                    net -= edge.flow
+        for arc in range(0, len(flow), 2):
+            if head[arc ^ 1] == node_id:
+                net += flow[arc]
+            if head[arc] == node_id:
+                net -= flow[arc]
         return net
 
     def reset_flow(self) -> None:
         """Zero out the flow on every edge."""
-        for edges in self._adjacency.values():
-            for edge in edges:
-                edge.flow = 0
+        self.arena.reset_flows()

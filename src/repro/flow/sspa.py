@@ -1,35 +1,31 @@
-"""Successive Shortest Path Algorithm (SSPA) for minimum-cost flow.
+"""Successive Shortest Path Algorithm (SSPA) — label-level compatibility API.
 
 The paper solves each MCF-LTC batch with SSPA because it copes with
-real-valued arc costs and many-to-many matchings (Sec. III).  This module
-implements the textbook algorithm:
+real-valued arc costs and many-to-many matchings (Sec. III).  The actual
+algorithm now lives in :mod:`repro.flow.kernel` and runs over the flat arc
+arena; this module keeps the historical entry points working for callers
+that build a :class:`~repro.flow.network.FlowNetwork` of hashable labels:
 
-1. Compute initial node potentials with Bellman–Ford (the reduction's
-   worker->task arcs carry negative costs, so Dijkstra cannot be used
-   directly on the original costs).
-2. Repeatedly find a shortest source->sink path in the residual network using
-   Dijkstra over *reduced* costs (Johnson potentials), push as much flow as
-   the path allows, and update the potentials.
-3. Stop when the sink is unreachable or the requested amount of flow has been
-   routed.
+1. :func:`successive_shortest_paths` resolves the labelled source/sink to
+   arena node ids and dispatches to :func:`repro.flow.kernel.solve_mcf`
+   (Bellman-Ford initial potentials — label-level callers provide general
+   graphs — then Dijkstra with warm Johnson potentials per augmentation).
+2. The kernel's arc flows are folded back into a :class:`FlowResult` keyed
+   by ``(tail, head)`` labels, aggregating parallel edges.
 
-Because every augmenting path found this way is a minimum-cost path, the
+Because every augmenting path the kernel finds is a minimum-cost path, the
 resulting flow is a minimum-cost flow for the amount routed.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
-from repro.flow.exceptions import InfeasibleFlowError, NegativeCycleError
-from repro.flow.network import Edge, FlowNetwork
+from repro.flow.kernel import solve_mcf
+from repro.flow.network import FlowNetwork
 
 Node = Hashable
-
-_INF = math.inf
 
 
 @dataclass(slots=True)
@@ -59,84 +55,6 @@ class FlowResult:
         return self.edge_flows.get((tail, head), 0)
 
 
-def _bellman_ford_potentials(network: FlowNetwork, source: Node) -> Dict[Node, float]:
-    """Shortest-path distances from ``source`` usable as initial potentials.
-
-    Runs over residual-capacity edges only.  Unreachable nodes keep an
-    infinite potential, which effectively removes them from later Dijkstra
-    passes.  Raises :class:`NegativeCycleError` if a negative cycle is
-    reachable from the source.
-    """
-    distance: Dict[Node, float] = {node: _INF for node in network.nodes}
-    distance[source] = 0.0
-    nodes = network.nodes
-    for iteration in range(len(nodes)):
-        changed = False
-        for node in nodes:
-            d_node = distance[node]
-            if d_node == _INF:
-                continue
-            for edge in network.edges_from(node):
-                if edge.residual_capacity <= 0:
-                    continue
-                candidate = d_node + edge.cost
-                if candidate < distance[edge.head] - 1e-12:
-                    distance[edge.head] = candidate
-                    changed = True
-        if not changed:
-            break
-    else:
-        # The loop ran |V| full iterations and still relaxed an edge.
-        raise NegativeCycleError("negative-cost cycle reachable from the source")
-    return distance
-
-
-def _dijkstra_reduced(
-    network: FlowNetwork,
-    source: Node,
-    sink: Node,
-    potentials: Dict[Node, float],
-) -> Tuple[Dict[Node, float], Dict[Node, Edge]]:
-    """Shortest paths from ``source`` under reduced costs.
-
-    Returns ``(distances, predecessor_edge)`` where distances are measured in
-    reduced costs.  Nodes whose potential is infinite (unreachable in the
-    original graph) are skipped.
-    """
-    distance: Dict[Node, float] = {source: 0.0}
-    predecessor: Dict[Node, Edge] = {}
-    visited: set[Node] = set()
-    heap: List[Tuple[float, int, Node]] = [(0.0, 0, source)]
-    counter = 1
-    while heap:
-        dist, _, node = heapq.heappop(heap)
-        if node in visited:
-            continue
-        visited.add(node)
-        if node == sink:
-            break
-        node_potential = potentials.get(node, _INF)
-        if node_potential == _INF:
-            continue
-        for edge in network.edges_from(node):
-            if edge.residual_capacity <= 0:
-                continue
-            head_potential = potentials.get(edge.head, _INF)
-            if head_potential == _INF:
-                continue
-            reduced = edge.cost + node_potential - head_potential
-            # Floating-point noise can push a reduced cost slightly below 0.
-            if reduced < 0:
-                reduced = 0.0
-            candidate = dist + reduced
-            if candidate < distance.get(edge.head, _INF) - 1e-15:
-                distance[edge.head] = candidate
-                predecessor[edge.head] = edge
-                heapq.heappush(heap, (candidate, counter, edge.head))
-                counter += 1
-    return distance, predecessor
-
-
 def successive_shortest_paths(
     network: FlowNetwork,
     source: Node,
@@ -158,7 +76,8 @@ def successive_shortest_paths(
         network allows (a min-cost max-flow).
     require_max_flow:
         When true and ``max_flow`` is given, raise
-        :class:`InfeasibleFlowError` if fewer units can be routed.
+        :class:`~repro.flow.exceptions.InfeasibleFlowError` if fewer units
+        can be routed.
 
     Returns
     -------
@@ -170,66 +89,31 @@ def successive_shortest_paths(
     if max_flow is not None and max_flow < 0:
         raise ValueError("max_flow must be non-negative")
 
-    potentials = _bellman_ford_potentials(network, source)
-    routed = 0
-    augmentations = 0
-    target = math.inf if max_flow is None else max_flow
+    arena = network.arena
+    if network.node_id(source) == network.node_id(sink):
+        raise ValueError("source and sink must differ")
+    result = solve_mcf(
+        arena,
+        network.node_id(source),
+        network.node_id(sink),
+        max_flow=max_flow,
+        require_max_flow=require_max_flow,
+    )
 
-    while routed < target:
-        distance, predecessor = _dijkstra_reduced(network, source, sink, potentials)
-        if sink not in distance:
-            break
-
-        # Update potentials so the next iteration's reduced costs stay
-        # non-negative.  Nodes that were not reached (or whose tentative
-        # distance exceeds the sink's) are advanced by the sink distance —
-        # the standard trick that keeps reduced costs consistent when
-        # Dijkstra terminates early at the sink.
-        sink_distance = distance[sink]
-        for node, node_potential in potentials.items():
-            if node_potential == _INF:
-                continue
-            potentials[node] = node_potential + min(
-                distance.get(node, sink_distance), sink_distance
-            )
-
-        # Find the bottleneck along the path sink -> source.
-        bottleneck = target - routed
-        node = sink
-        while node != source:
-            edge = predecessor[node]
-            bottleneck = min(bottleneck, edge.residual_capacity)
-            node = edge.tail
-        bottleneck = int(bottleneck)
-        if bottleneck <= 0:
-            break
-
-        # Push the flow.
-        node = sink
-        while node != source:
-            edge = predecessor[node]
-            edge.push(bottleneck)
-            node = edge.tail
-
-        routed += bottleneck
-        augmentations += 1
-
-    if require_max_flow and max_flow is not None and routed < max_flow:
-        raise InfeasibleFlowError(
-            f"only {routed} of the requested {max_flow} units could be routed"
-        )
-
+    head, flow = arena.head, arena.flow
     edge_flows: Dict[Tuple[Node, Node], int] = {}
-    for edge in network.forward_edges():
-        if edge.flow > 0:
-            key = (edge.tail, edge.head)
-            edge_flows[key] = edge_flows.get(key, 0) + edge.flow
+    label_of = network.label_of
+    for arc in range(0, len(flow), 2):
+        units = flow[arc]
+        if units > 0:
+            key = (label_of(head[arc ^ 1]), label_of(head[arc]))
+            edge_flows[key] = edge_flows.get(key, 0) + units
 
     return FlowResult(
-        flow_value=routed,
-        total_cost=network.total_cost(),
+        flow_value=result.flow_value,
+        total_cost=result.total_cost,
         edge_flows=edge_flows,
-        augmentations=augmentations,
+        augmentations=result.augmentations,
     )
 
 

@@ -1,17 +1,23 @@
 """Independent validation of flows.
 
-The solver in :mod:`repro.flow.sspa` maintains its own invariants, but tests
-and debugging assertions want an *independent* check that a computed flow is
-feasible: capacities respected, flow conserved at every node except the
-source and sink, and the claimed flow value consistent with the source's net
-outflow.
+The kernel in :mod:`repro.flow.kernel` maintains its own invariants, but
+tests and debugging assertions want an *independent* check that a computed
+flow is feasible: capacities respected, flow conserved at every node except
+the source and sink, and the claimed flow value consistent with the
+source's net outflow.
+
+The core check, :func:`validate_arena_flow`, walks the arena's parallel
+arrays directly.  :func:`validate_flow` is the label-level wrapper for
+:class:`~repro.flow.network.FlowNetwork`, reporting violations in terms of
+the network's node labels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List
+from typing import Hashable, List, Optional, Sequence
 
+from repro.flow.kernel import ArcArena
 from repro.flow.network import FlowNetwork
 
 Node = Hashable
@@ -28,6 +34,77 @@ class FlowViolation:
         return f"{self.kind}: {self.detail}"
 
 
+def validate_arena_flow(
+    graph: ArcArena,
+    source: int,
+    sink: int,
+    expected_value: int | None = None,
+    labels: Optional[Sequence[Node]] = None,
+) -> List[FlowViolation]:
+    """Constraint violations of the arena's current flow (empty = feasible).
+
+    Walks the forward (even) arcs once, accumulating per-node net outflow.
+    ``labels`` optionally maps node ids to display labels for the violation
+    messages; ids are shown otherwise.  When ``expected_value`` is given,
+    the source's net outflow must equal it.
+    """
+
+    def name(node: int) -> object:
+        return labels[node] if labels is not None else node
+
+    violations: List[FlowViolation] = []
+    head, cap, flow = graph.head, graph.cap, graph.flow
+    net = [0] * graph.num_nodes
+
+    for arc in range(0, len(flow), 2):
+        units = flow[arc]
+        tail = head[arc ^ 1]
+        if units < 0:
+            violations.append(
+                FlowViolation(
+                    "negative-flow", f"{name(tail)}->{name(head[arc])}: {units}"
+                )
+            )
+        if units > cap[arc]:
+            violations.append(
+                FlowViolation(
+                    "capacity",
+                    f"{name(tail)}->{name(head[arc])}: flow {units} > "
+                    f"capacity {cap[arc]}",
+                )
+            )
+        net[tail] += units
+        net[head[arc]] -= units
+
+    for node, node_net in enumerate(net):
+        if node == source or node == sink:
+            continue
+        if node_net != 0:
+            violations.append(
+                FlowViolation(
+                    "conservation", f"node {name(node)!r} has net outflow {node_net}"
+                )
+            )
+
+    if net[source] != -net[sink]:
+        violations.append(
+            FlowViolation(
+                "source-sink-mismatch",
+                f"source net {net[source]} vs sink net {net[sink]}",
+            )
+        )
+
+    if expected_value is not None and net[source] != expected_value:
+        violations.append(
+            FlowViolation(
+                "value",
+                f"source routes {net[source]} units, expected {expected_value}",
+            )
+        )
+
+    return violations
+
+
 def validate_flow(
     network: FlowNetwork,
     source: Node,
@@ -39,48 +116,12 @@ def validate_flow(
     An empty list means the flow is feasible.  When ``expected_value`` is
     given, the source's net outflow must equal it.
     """
-    violations: List[FlowViolation] = []
-    net_by_node: dict[Node, int] = {node: 0 for node in network.nodes}
-
-    for edge in network.forward_edges():
-        if edge.flow < 0:
-            violations.append(
-                FlowViolation("negative-flow", f"{edge.tail}->{edge.head}: {edge.flow}")
-            )
-        if edge.flow > edge.capacity:
-            violations.append(
-                FlowViolation(
-                    "capacity",
-                    f"{edge.tail}->{edge.head}: flow {edge.flow} > capacity {edge.capacity}",
-                )
-            )
-        net_by_node[edge.tail] += edge.flow
-        net_by_node[edge.head] -= edge.flow
-
-    for node, net in net_by_node.items():
-        if node == source or node == sink:
-            continue
-        if net != 0:
-            violations.append(
-                FlowViolation("conservation", f"node {node!r} has net outflow {net}")
-            )
-
-    if net_by_node.get(source, 0) != -net_by_node.get(sink, 0):
-        violations.append(
-            FlowViolation(
-                "source-sink-mismatch",
-                f"source net {net_by_node.get(source, 0)} vs sink net "
-                f"{net_by_node.get(sink, 0)}",
-            )
-        )
-
-    if expected_value is not None and net_by_node.get(source, 0) != expected_value:
-        violations.append(
-            FlowViolation(
-                "value",
-                f"source routes {net_by_node.get(source, 0)} units, expected "
-                f"{expected_value}",
-            )
-        )
-
-    return violations
+    if source not in network or sink not in network:
+        raise ValueError("source and sink must be nodes of the network")
+    return validate_arena_flow(
+        network.arena,
+        network.node_id(source),
+        network.node_id(sink),
+        expected_value=expected_value,
+        labels=network.nodes,
+    )
