@@ -1,20 +1,31 @@
-"""Microbenchmark: array flow kernel vs the pre-refactor object-graph SSPA.
+"""Microbenchmark: flow-kernel backends vs the pre-refactor object-graph SSPA.
 
 Builds LTC-shaped batch reductions (source -> workers -> tasks -> sink,
 negative real-valued worker->task costs, exactly what ``MCFLTCSolver``
 feeds the flow layer per batch) at several batch sizes and times one full
 solve through each implementation:
 
-* **legacy** — the retained pre-kernel path (:mod:`repro.flow.reference`):
+* **reference** — the retained pre-kernel path (:mod:`repro.flow.reference`):
   ``Edge`` objects, dict adjacency, O(V*E) Bellman-Ford initial potentials;
   network built from scratch, as the old solver did per batch.
-* **kernel** — :class:`repro.flow.kernel.ArcArena` + one O(E) DAG potential
-  pass + :func:`repro.flow.kernel.solve_mcf`.
+* **python** — :class:`repro.flow.kernel.ArcArena` + one O(E) DAG potential
+  pass + :func:`repro.flow.kernel.solve_mcf` on the pure-Python backend.
+* **numpy** — the same kernel path on the numpy-vectorized backend
+  (omitted from the run and the report entirely when numpy is not
+  installed; naming it explicitly via ``--backends numpy`` then raises
+  ``BackendUnavailableError``).
 
 Each timing covers build + potentials + solve (what MCF-LTC pays per
-batch).  Results (median wall-time per size, augmentation counts, speedups)
-are written as JSON — by default to ``BENCH_flow_kernel.json`` at the repo
-root, the perf trajectory's first data point.
+batch); the implementations are interleaved within each repeat so slow
+background drift hits all of them equally.  Exactness is asserted on every
+case: the kernel backends must agree with the reference on flow value and
+cost, and with each other on the exact per-arc flows.  A separate *dense*
+section times python vs numpy on high-degree reductions whose rows are
+long enough for the numpy backend's vector path (the reference is omitted
+there — its O(V*E) Bellman-Ford would dominate the wall-clock).  Results
+(median wall-times per size, augmentation counts, speedups) are written as
+one combined JSON — by default to ``BENCH_flow_kernel.json`` at the repo
+root.
 
 Usage::
 
@@ -35,6 +46,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.flow.backends import available_backends
 from repro.flow.kernel import ArcArena, dag_potentials, solve_mcf
 from repro.flow.reference import LegacyFlowNetwork, legacy_successive_shortest_paths
 
@@ -51,19 +63,19 @@ TASKS_PER_WORKER = 1.5
 DEGREE = 12  # eligible tasks per worker (grid-index candidates)
 
 
-def build_case(num_workers: int, seed: int):
+def build_case(num_workers: int, seed: int, degree: int = DEGREE):
     """One LTC-shaped batch reduction as plain data."""
     rng = random.Random(seed)
     num_tasks = max(2, int(num_workers * TASKS_PER_WORKER))
     pairs = []
     for w in range(num_workers):
-        degree = min(num_tasks, DEGREE)
-        for t in sorted(rng.sample(range(num_tasks), degree)):
+        row_degree = min(num_tasks, degree)
+        for t in sorted(rng.sample(range(num_tasks), row_degree)):
             pairs.append((w, t, rng.uniform(0.1, 1.0)))
     return num_tasks, pairs
 
 
-def run_legacy(num_workers: int, num_tasks: int, pairs):
+def run_reference(num_workers: int, num_tasks: int, pairs):
     network = LegacyFlowNetwork()
     for w in range(num_workers):
         network.add_edge("s", ("w", w), CAPACITY, 0.0)
@@ -71,10 +83,11 @@ def run_legacy(num_workers: int, num_tasks: int, pairs):
         network.add_edge(("w", w), ("t", t), 1, -value)
     for t in range(num_tasks):
         network.add_edge(("t", t), "d", TASK_NEED, 0.0)
-    return legacy_successive_shortest_paths(network, "s", "d")
+    value, cost, augmentations = legacy_successive_shortest_paths(network, "s", "d")
+    return value, cost, augmentations, None
 
 
-def run_kernel(num_workers: int, num_tasks: int, pairs):
+def run_kernel(num_workers: int, num_tasks: int, pairs, backend: str):
     # Same node layout as MCFLTCSolver: source 0, sink 1, then tasks, then
     # workers.  Low task ids make Dijkstra's node-id tie-breaking pop
     # zero-distance task nodes (and then the sink) before exploring more of
@@ -95,48 +108,87 @@ def run_kernel(num_workers: int, num_tasks: int, pairs):
         + [1]
     )
     potentials = dag_potentials(arena, 0, topo)
-    result = solve_mcf(arena, 0, 1, potentials=potentials)
-    return result.flow_value, result.total_cost, result.augmentations
+    result = solve_mcf(arena, 0, 1, potentials=potentials, backend=backend)
+    return result.flow_value, result.total_cost, result.augmentations, arena.flow
 
 
-def bench_size(num_workers: int, repeats: int, seed: int) -> dict:
-    num_tasks, pairs = build_case(num_workers, seed)
-    # Interleave the two implementations so slow background drift (GC,
-    # other processes) hits both phases equally instead of whichever ran
-    # second.
-    legacy_times, kernel_times = [], []
-    legacy_out = kernel_out = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        legacy_out = run_legacy(num_workers, num_tasks, pairs)
-        legacy_times.append(time.perf_counter() - start)
-        start = time.perf_counter()
-        kernel_out = run_kernel(num_workers, num_tasks, pairs)
-        kernel_times.append(time.perf_counter() - start)
-    legacy_s = statistics.median(legacy_times)
-    kernel_s = statistics.median(kernel_times)
-    legacy_value, legacy_cost, legacy_augs = legacy_out
-    kernel_value, kernel_cost, kernel_augs = kernel_out
-    if kernel_value != legacy_value or abs(kernel_cost - legacy_cost) > 1e-6:
-        raise AssertionError(
-            f"implementations disagree at {num_workers} workers: "
-            f"kernel ({kernel_value}, {kernel_cost}) vs "
-            f"legacy ({legacy_value}, {legacy_cost})"
+def bench_size(
+    num_workers: int,
+    repeats: int,
+    seed: int,
+    backends,
+    degree: int = DEGREE,
+    include_reference: bool = True,
+) -> dict:
+    num_tasks, pairs = build_case(num_workers, seed, degree=degree)
+    runners = {}
+    if include_reference:
+        runners["reference"] = lambda: run_reference(num_workers, num_tasks, pairs)
+    for backend in backends:
+        runners[backend] = (
+            lambda b=backend: run_kernel(num_workers, num_tasks, pairs, b)
         )
-    return {
+
+    # Interleave the implementations so slow background drift (GC, other
+    # processes) hits every phase equally instead of whichever ran last.
+    times = {name: [] for name in runners}
+    outputs = {}
+    for _ in range(repeats):
+        for name, runner in runners.items():
+            start = time.perf_counter()
+            outputs[name] = runner()
+            times[name].append(time.perf_counter() - start)
+
+    baseline_name = next(iter(runners))
+    base_value, base_cost, _base_augs, _ = outputs[baseline_name]
+    flows = {}
+    for backend in backends:
+        value, cost, _augs, flow = outputs[backend]
+        if value != base_value or abs(cost - base_cost) > 1e-6:
+            raise AssertionError(
+                f"{backend} backend disagrees with {baseline_name} at "
+                f"{num_workers} workers: ({value}, {cost}) vs "
+                f"({base_value}, {base_cost})"
+            )
+        flows[backend] = flow
+    if len(backends) > 1:
+        baseline = flows[backends[0]]
+        for backend in backends[1:]:
+            if flows[backend] != baseline:
+                raise AssertionError(
+                    f"backends {backends[0]} and {backend} produced different "
+                    f"per-arc flows at {num_workers} workers"
+                )
+
+    entry = {
         "batch_workers": num_workers,
         "tasks": num_tasks,
+        "degree": degree,
         "pair_arcs": len(pairs),
-        "flow_value": kernel_value,
-        "total_cost": kernel_cost,
-        "legacy_ms_median": round(legacy_s * 1000, 3),
-        "kernel_ms_median": round(kernel_s * 1000, 3),
-        "legacy_ms_best": round(min(legacy_times) * 1000, 3),
-        "kernel_ms_best": round(min(kernel_times) * 1000, 3),
-        "speedup": round(legacy_s / kernel_s, 2) if kernel_s > 0 else float("inf"),
-        "kernel_augmentations": kernel_augs,
-        "legacy_augmentations": legacy_augs,
+        "flow_value": base_value,
+        "total_cost": base_cost,
+        "augmentations": outputs[backends[0]][2] if backends else None,
     }
+    if include_reference:
+        entry["reference_augmentations"] = outputs["reference"][2]
+    for name in runners:
+        median_s = statistics.median(times[name])
+        entry[f"{name}_ms_median"] = round(median_s * 1000, 3)
+        entry[f"{name}_ms_best"] = round(min(times[name]) * 1000, 3)
+    if include_reference:
+        ref_s = statistics.median(times["reference"])
+        for backend in backends:
+            backend_s = statistics.median(times[backend])
+            entry[f"{backend}_speedup_vs_reference"] = (
+                round(ref_s / backend_s, 2) if backend_s > 0 else float("inf")
+            )
+    if "python" in backends and "numpy" in backends:
+        py_s = statistics.median(times["python"])
+        np_s = statistics.median(times["numpy"])
+        entry["numpy_speedup_vs_python"] = (
+            round(py_s / np_s, 2) if np_s > 0 else float("inf")
+        )
+    return entry
 
 
 def main(argv=None) -> int:
@@ -148,27 +200,67 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=20180416)
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the JSON report")
+    parser.add_argument("--backends", nargs="+", default=None,
+                        help="kernel backends to time (default: all available)")
+    parser.add_argument("--dense-sizes", type=int, nargs="*", default=[250],
+                        help="batch sizes for the dense (vectorization-regime) "
+                             "section; empty to skip")
+    parser.add_argument("--dense-degree", type=int, default=370,
+                        help="eligible tasks per worker in the dense section "
+                             "(rows long enough for the numpy vector path)")
     args = parser.parse_args(argv)
+
+    backends = args.backends
+    if backends is None:
+        backends = [b for b in ("python", "numpy") if b in available_backends()]
 
     results = []
     for size in args.sizes:
-        entry = bench_size(size, args.repeats, args.seed)
+        entry = bench_size(size, args.repeats, args.seed, backends)
         results.append(entry)
+        timings = "  ".join(
+            f"{name}={entry[f'{name}_ms_median']:>9.2f}ms"
+            for name in ["reference", *backends]
+        )
+        speedups = "  ".join(
+            f"{b}={entry[f'{b}_speedup_vs_reference']:>5.2f}x" for b in backends
+        )
         print(
             f"batch={entry['batch_workers']:>5}  tasks={entry['tasks']:>5}  "
-            f"legacy={entry['legacy_ms_median']:>9.2f}ms  "
-            f"kernel={entry['kernel_ms_median']:>8.2f}ms  "
-            f"speedup={entry['speedup']:>6.2f}x  "
-            f"augmentations={entry['kernel_augmentations']}"
+            f"{timings}  speedup: {speedups}  "
+            f"augmentations={entry['augmentations']}"
+        )
+
+    # Dense section: rows long enough for the numpy backend's vector path
+    # (the LTC default of ~12 eligible tasks per worker stays on the scalar
+    # path by design).  The O(V*E) reference would take minutes here and
+    # is omitted; the comparison of interest is python vs numpy.
+    dense_results = []
+    for size in args.dense_sizes:
+        entry = bench_size(
+            size, args.repeats, args.seed, backends,
+            degree=args.dense_degree, include_reference=False,
+        )
+        dense_results.append(entry)
+        timings = "  ".join(
+            f"{name}={entry[f'{name}_ms_median']:>9.2f}ms" for name in backends
+        )
+        ratio = entry.get("numpy_speedup_vs_python")
+        print(
+            f"dense batch={entry['batch_workers']:>5}  degree={entry['degree']:>4}  "
+            f"{timings}"
+            + (f"  numpy_vs_python={ratio:>5.2f}x" if ratio is not None else "")
         )
 
     report = {
         "benchmark": "flow_kernel",
         "description": (
-            "Per-batch MCF-LTC flow solve: array kernel (ArcArena + DAG "
-            "potentials + solve_mcf) vs the pre-refactor object-graph SSPA "
-            "(Edge objects, dict adjacency, Bellman-Ford). Times are medians "
-            "over repeated build+solve runs."
+            "Per-batch MCF-LTC flow solve: the array kernel (ArcArena + DAG "
+            "potentials + solve_mcf) on each registered backend (python, "
+            "numpy) vs the pre-refactor object-graph SSPA (Edge objects, "
+            "dict adjacency, Bellman-Ford). Times are medians over repeated "
+            "interleaved build+solve runs; all implementations are asserted "
+            "to agree on every case."
         ),
         "config": {
             "sizes": args.sizes,
@@ -177,10 +269,17 @@ def main(argv=None) -> int:
             "capacity": CAPACITY,
             "task_need": TASK_NEED,
             "degree": DEGREE,
+            "dense_sizes": args.dense_sizes,
+            "dense_degree": args.dense_degree,
+            "backends": backends,
             "python": platform.python_version(),
         },
         "results": results,
-        "largest_batch_speedup": results[-1]["speedup"] if results else None,
+        "dense_results": dense_results,
+        "largest_batch_speedups": {
+            backend: results[-1][f"{backend}_speedup_vs_reference"]
+            for backend in backends
+        } if results else None,
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=1) + "\n")

@@ -43,7 +43,7 @@ Implementation notes
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import OfflineSolver, SolveResult
 from repro.core.arrangement import Arrangement
@@ -51,6 +51,7 @@ from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
 from repro.core.task import Task
 from repro.core.worker import Worker
+from repro.flow.backends import AUTO_BACKEND, get_backend
 from repro.flow.kernel import ArcArena, dag_potentials, solve_mcf
 from repro.structures.topk import TopKHeap
 
@@ -79,6 +80,14 @@ class MCFLTCSolver(OfflineSolver):
         breaks ties deterministically by stable arc-insertion order
         (workers in arrival order, tasks ascending), so results are
         reproducible with unperturbed costs regardless of this flag.
+    backend:
+        Which :mod:`repro.flow.backends` implementation runs each batch's
+        flow solve: ``"python"``, ``"numpy"``, ``"auto"``, or ``None``
+        (the default) to defer to the ``REPRO_FLOW_BACKEND`` environment
+        variable / auto-detection at solve time.  Backends are bit-exact,
+        so arrangements do not depend on this choice; it is reachable from
+        spec strings as ``"MCF-LTC?backend=numpy"``.  Unknown names raise
+        immediately with a did-you-mean suggestion.
     """
 
     name = "MCF-LTC"
@@ -88,12 +97,16 @@ class MCFLTCSolver(OfflineSolver):
         batch_multiplier: float = 1.0,
         use_spatial_index: bool = True,
         index_tiebreak: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         if batch_multiplier <= 0:
             raise ValueError("batch_multiplier must be positive")
+        if backend is not None and backend != AUTO_BACKEND:
+            get_backend(backend)  # unknown names fail fast, with a hint
         self.batch_multiplier = batch_multiplier
         self.use_spatial_index = use_spatial_index
         self.index_tiebreak = index_tiebreak
+        self.backend = backend
 
     # ------------------------------------------------------------------ solve
 
@@ -209,7 +222,9 @@ class MCFLTCSolver(OfflineSolver):
         topo_order += task_nodes.values()
         topo_order.append(_SINK)
         potentials = dag_potentials(arena, _SOURCE, topo_order)
-        result = solve_mcf(arena, _SOURCE, _SINK, potentials=potentials)
+        result = solve_mcf(
+            arena, _SOURCE, _SINK, potentials=potentials, backend=self.backend
+        )
 
         # Apply every unit of flow on a worker->task arc as an assignment.
         arc_flow = arena.flow

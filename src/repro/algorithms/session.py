@@ -278,5 +278,29 @@ class ReplaySession(_SolverSession):
 
 
 def open_session(solver: Solver, instance: LTCInstance) -> Session:
-    """Open the right kind of session for any solver (functional spelling)."""
+    """Open the right kind of session for any solver (functional spelling).
+
+    Parameters
+    ----------
+    solver:
+        Any built solver (e.g. from
+        :func:`~repro.algorithms.registry.build_solver`).  Online solvers
+        get a native :class:`OnlineSolverSession`; offline solvers get a
+        :class:`ReplaySession` that plans on the full instance at first
+        arrival and replays the plan.
+    instance:
+        The LTC instance to serve.  More tasks may still be added through
+        :meth:`~repro.core.session.Session.submit_tasks` until the first
+        worker arrives; afterwards the task set is frozen because
+        assignments are irrevocable.
+
+    Returns
+    -------
+    A fresh :class:`~repro.core.session.Session`.  Note the invariant that
+    one solver object holds one mutable arrangement: opening a second live
+    session on the same *online* solver rebinds it and invalidates the
+    first (which then raises
+    :class:`~repro.core.session.SessionStateError`) — build one solver per
+    concurrent session.
+    """
     return solver.open_session(instance)

@@ -133,7 +133,15 @@ class SolverSpec:
 
     @classmethod
     def parse(cls, text: str) -> "SolverSpec":
-        """Parse a spec string like ``"MCF-LTC?batch_multiplier=2.0"``."""
+        """Parse a spec string like ``"MCF-LTC?batch_multiplier=2.0"``.
+
+        Values are typed by their syntax (``true``/``false`` -> bool, digit
+        strings -> int, decimals -> float, anything else -> str), and
+        parsing is the inverse of ``str(spec)``:
+        ``SolverSpec.parse(str(spec)) == spec`` for every valid spec.
+        Raises ``ValueError`` for malformed or duplicate parameters and
+        ``TypeError`` for non-string input.
+        """
         if not isinstance(text, str):
             raise TypeError(f"expected a spec string, got {type(text).__name__}")
         name, separator, query = text.partition("?")

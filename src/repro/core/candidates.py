@@ -139,7 +139,21 @@ class CandidateFinder:
         accuracy check, so callers pay nothing for tasks they would filter
         out anyway.  This is the streaming form used to feed the flow
         kernel's arc arena without building per-worker lists.
+
+        The two "no restriction set" spellings mean opposite things and are
+        deliberately *not* interchangeable: ``allowed_ids=None`` means "no
+        restriction — every eligible task qualifies", while an **empty set
+        means "nothing is allowed" and yields no tasks at all** (the natural
+        reading for a batch whose uncompleted-task set has drained).  Only
+        ``None`` is the don't-care value; do not pass an empty set to mean
+        "unrestricted".
         """
+        if allowed_ids is not None and not allowed_ids:
+            # Explicit empty restriction: nothing can qualify.  Returning
+            # up front (rather than scanning the pool and filtering every
+            # task out) makes the semantics visible and the drained-batch
+            # case free.
+            return
         pool = self._eligible_pool(worker, ordered=True)
         if allowed_ids is None:
             for task in pool:
@@ -160,7 +174,13 @@ class CandidateFinder:
         Pairs stream grouped by worker (in the given worker order) with
         tasks ascending by id inside each group — exactly the stable arc
         order the MCF-LTC reduction appends to the kernel arena.
+
+        ``allowed_ids`` follows :meth:`iter_candidates` semantics:
+        ``None`` leaves the task set unrestricted, while an empty set means
+        "nothing is allowed" and yields no pairs for any worker.
         """
+        if allowed_ids is not None and not allowed_ids:
+            return
         for worker in workers:
             for task in self.iter_candidates(worker, allowed_ids):
                 yield worker, task

@@ -1,0 +1,160 @@
+"""Pluggable backends for the flow kernel's SSPA inner loop.
+
+:func:`repro.flow.kernel.solve_mcf` validates arguments and prepares
+potentials, then hands the augmentation loop to a **backend** — an
+implementation of the :class:`~repro.flow.backends.base.KernelBackend`
+contract.  Two ship with the package:
+
+* ``"python"`` — the tuned pure-Python reference loop
+  (:mod:`repro.flow.backends.python_backend`); always available.
+* ``"numpy"`` — vectorized arc scans over the arena's CSR rows
+  (:mod:`repro.flow.backends.numpy_backend`); available when numpy imports.
+
+Selection, most specific wins:
+
+1. an explicit ``backend=`` argument to ``solve_mcf`` (or the ``backend=``
+   parameter of the ``MCF-LTC`` solver spec, e.g.
+   ``"MCF-LTC?backend=numpy"``);
+2. the ``REPRO_FLOW_BACKEND`` environment variable;
+3. ``"auto"`` — numpy when available, otherwise python.
+
+Unknown names raise ``KeyError`` with a did-you-mean suggestion (matching
+the solver registry's behaviour); naming an unavailable backend explicitly
+raises :class:`~repro.flow.exceptions.BackendUnavailableError` instead of
+silently falling back.  All backends are bit-exact with one another — see
+:mod:`repro.flow.backends.base` and ``docs/flow_kernel.md``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from typing import Dict, List, Optional, Union
+
+from repro.flow.backends.base import KernelBackend
+from repro.flow.backends.numpy_backend import NumpyBackend
+from repro.flow.backends.python_backend import PythonBackend
+from repro.flow.exceptions import BackendUnavailableError
+
+#: Environment variable consulted when no explicit backend is named.
+BACKEND_ENV_VAR = "REPRO_FLOW_BACKEND"
+
+#: The resolver keyword for "pick the best available backend".
+AUTO_BACKEND = "auto"
+
+#: Anything the ``backend=`` arguments accept.
+BackendLike = Union[KernelBackend, str, None]
+
+_BACKENDS: Dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend, overwrite: bool = False) -> KernelBackend:
+    """Register a backend instance under its ``name`` and return it.
+
+    Raises ``ValueError`` for empty/reserved names (``"auto"`` is the
+    resolver's keyword) or, unless ``overwrite`` is true, for a name that is
+    already taken.  Registered backends must honour the bit-exactness
+    contract of :class:`~repro.flow.backends.base.KernelBackend`.
+    """
+    name = backend.name
+    if not name or name != name.strip():
+        raise ValueError(
+            f"backend name {name!r} is empty or has surrounding whitespace"
+        )
+    if name == AUTO_BACKEND:
+        raise ValueError(
+            f"backend name {AUTO_BACKEND!r} is reserved for auto-selection"
+        )
+    if not overwrite and name in _BACKENDS:
+        raise ValueError(f"backend name {name!r} is already registered")
+    _BACKENDS[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The registered backend called ``name`` (may be unavailable).
+
+    Raises ``KeyError`` with a did-you-mean suggestion for unknown names.
+    """
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        close = difflib.get_close_matches(name, list(_BACKENDS), n=1, cutoff=0.5)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        raise KeyError(
+            f"unknown flow backend {name!r}{hint}; known backends: {known}"
+        ) from None
+
+
+def registered_backends() -> List[str]:
+    """Names of all registered backends, sorted (available or not)."""
+    return sorted(_BACKENDS)
+
+
+def available_backends() -> List[str]:
+    """Names of the backends that can actually run here, sorted."""
+    return sorted(
+        name for name, backend in _BACKENDS.items() if backend.is_available()
+    )
+
+
+def default_backend_name() -> str:
+    """What auto-selection currently resolves to."""
+    return resolve_backend(AUTO_BACKEND).name
+
+
+def resolve_backend(choice: BackendLike = None) -> KernelBackend:
+    """Turn a backend choice into a runnable backend instance.
+
+    ``choice`` may be a :class:`~repro.flow.backends.base.KernelBackend`
+    (returned as-is), a registered name, ``"auto"``, or ``None``.  ``None``
+    consults the ``REPRO_FLOW_BACKEND`` environment variable (read at call
+    time, so tests and services can flip it) and falls back to ``"auto"``
+    when the variable is unset or empty.  ``"auto"`` prefers numpy and
+    falls back to the pure-Python backend when numpy is absent.
+
+    Raises ``KeyError`` (with a did-you-mean hint) for unknown names and
+    :class:`~repro.flow.exceptions.BackendUnavailableError` when an
+    explicitly named backend cannot run in this environment.
+    """
+    if isinstance(choice, KernelBackend):
+        return choice
+    if choice is None:
+        choice = os.environ.get(BACKEND_ENV_VAR) or AUTO_BACKEND
+    if not isinstance(choice, str):
+        raise TypeError(
+            f"backend must be a name or KernelBackend, got {type(choice).__name__}"
+        )
+    if choice == AUTO_BACKEND:
+        numpy_backend = _BACKENDS.get(NumpyBackend.name)
+        if numpy_backend is not None and numpy_backend.is_available():
+            return numpy_backend
+        return _BACKENDS[PythonBackend.name]
+    backend = get_backend(choice)
+    if not backend.is_available():
+        raise BackendUnavailableError(
+            f"flow backend {choice!r} is registered but cannot run here "
+            "(missing optional dependency?); available backends: "
+            f"{', '.join(available_backends())}"
+        )
+    return backend
+
+
+register_backend(PythonBackend())
+register_backend(NumpyBackend())
+
+__all__ = [
+    "AUTO_BACKEND",
+    "BACKEND_ENV_VAR",
+    "BackendLike",
+    "KernelBackend",
+    "NumpyBackend",
+    "PythonBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+]

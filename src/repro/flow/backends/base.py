@@ -1,0 +1,103 @@
+"""The contract every flow-kernel backend implements.
+
+A backend is the *inner loop* of :func:`repro.flow.kernel.solve_mcf`: the
+successive-shortest-path augmentation cycle over an
+:class:`~repro.flow.kernel.ArcArena`.  Everything around that loop —
+argument validation, initial Johnson potentials, the
+:class:`~repro.flow.kernel.KernelFlowResult` — stays in ``solve_mcf``, so a
+backend only has to speak arrays.
+
+The conformance bar is strict: **every backend must produce bit-identical
+flows and potentials** for the same inputs.  The kernel's determinism
+guarantees (heap ties fall back to the node id, relaxations use strict
+``<`` with the shared ``1e-15`` tolerance, arcs are scanned in stable
+arc-insertion order, and floating-point expressions are evaluated in the
+same association order) are part of the contract, not an implementation
+detail — MCF-LTC arrangements are pinned byte-for-byte across backends by
+the conformance suite.  See ``docs/flow_kernel.md`` for the full write-up.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.flow.kernel import ArcArena
+
+#: Shared strict-improvement tolerance for Dijkstra relaxations.  Part of
+#: the backend contract: all backends must compare with the same epsilon or
+#: their tie-breaking (and therefore their arrangements) could diverge.
+RELAX_EPS = 1e-15
+
+
+class KernelBackend(ABC):
+    """One implementation of the SSPA augmentation loop.
+
+    Subclasses register an instance with
+    :func:`repro.flow.backends.register_backend`; callers never instantiate
+    backends directly — they name them (``backend="numpy"``, the
+    ``REPRO_FLOW_BACKEND`` environment variable, or the ``backend=`` solver
+    spec parameter) and :func:`repro.flow.backends.resolve_backend` hands
+    out the shared instance.  Backends must therefore be stateless between
+    :meth:`run` calls.
+    """
+
+    #: Registry name (what ``backend=`` strings refer to).
+    name: str = ""
+
+    def is_available(self) -> bool:
+        """Whether the backend can run in this environment.
+
+        The default assumes no optional dependencies.  Backends that need
+        one (e.g. numpy) override this; ``resolve_backend("auto")`` skips
+        unavailable backends, while naming one explicitly raises
+        :class:`~repro.flow.exceptions.BackendUnavailableError`.
+        """
+        return True
+
+    @abstractmethod
+    def run(
+        self,
+        graph: "ArcArena",
+        source: int,
+        sink: int,
+        target: float,
+        potentials: List[float],
+    ) -> Tuple[int, int, List[float]]:
+        """Route up to ``target`` units of min-cost flow; return the outcome.
+
+        Parameters
+        ----------
+        graph:
+            The arc arena.  The backend mutates ``graph.flow`` in place
+            (twins kept in lockstep, ``flow[a ^ 1] == -flow[a]``) and must
+            leave every other arena field untouched.
+        source, sink:
+            Validated, distinct node ids.
+        target:
+            Unit budget for this call: a non-negative integer, or
+            ``math.inf`` for a min-cost *max*-flow.
+        potentials:
+            Johnson potentials, one per node, that are exact shortest-path
+            distances from ``source`` under reduced costs in the arena's
+            *current* residual graph (infinite for unreachable nodes).  The
+            backend may mutate the list.
+
+        Returns
+        -------
+        ``(routed, augmentations, potentials)``: units routed by this call,
+        number of augmenting paths used, and the final potentials (valid
+        warm-start input for a follow-up ``run`` on the same arena).
+
+        Invariants
+        ----------
+        * Exactness: the routed flow is a minimum-cost way to send
+          ``routed`` units, and ``routed`` is maximal subject to ``target``.
+        * Determinism: identical inputs give bit-identical ``graph.flow``
+          and ``potentials`` across *all* registered backends.
+        * On return the arena satisfies capacity and conservation
+          constraints (checkable with
+          :func:`repro.flow.validate.validate_arena_flow`).
+        """
+        raise NotImplementedError

@@ -231,8 +231,13 @@ class LTCDispatcher:
     def feed_stream(self, workers, stop_when_all_complete: bool = True) -> int:
         """Feed a whole merged stream; return how many arrivals were consumed.
 
-        Stops early once every session is complete (the default), mirroring
-        how a single-instance drive stops at completion.
+        ``workers`` is any iterable of :class:`~repro.core.worker.Worker`
+        arrivals in merged-stream order; each is routed exactly as by
+        :meth:`feed_worker`.  Stops early once every session is complete
+        (the default), mirroring how a single-instance drive stops at
+        completion; pass ``stop_when_all_complete=False`` to drain the
+        iterable regardless (e.g. to keep serving sessions submitted
+        mid-stream).
         """
         consumed = 0
         for worker in workers:

@@ -97,6 +97,44 @@ class TestCandidateFinder:
         assert counts == {0: 1, 1: 0}
 
 
+class TestAllowedIdsSemantics:
+    """``allowed_ids=None`` means unrestricted; an empty set means "nothing".
+
+    Regression guard: the two spellings are deliberately not interchangeable,
+    and an empty restriction must short-circuit rather than silently scan
+    the pool and filter everything out.
+    """
+
+    def test_none_is_unrestricted(self):
+        instance = spatial_instance([0.0, 10.0, 28.0])
+        finder = CandidateFinder(instance)
+        worker = instance.worker(1)
+        unrestricted = [t.task_id for t in finder.iter_candidates(worker, None)]
+        assert unrestricted == [t.task_id for t in finder.candidates(worker)]
+        assert unrestricted == [0, 1, 2]
+
+    def test_empty_set_yields_nothing(self):
+        instance = spatial_instance([0.0, 10.0, 28.0])
+        finder = CandidateFinder(instance)
+        worker = instance.worker(1)
+        assert list(finder.iter_candidates(worker, set())) == []
+        assert list(finder.iter_candidates(worker, frozenset())) == []
+        assert list(finder.eligible_pairs(instance.workers, set())) == []
+
+    def test_empty_set_differs_from_none_for_eligible_pairs(self):
+        instance = spatial_instance([0.0, 10.0])
+        finder = CandidateFinder(instance)
+        assert list(finder.eligible_pairs(instance.workers, None)) != []
+
+    def test_subset_restricts_before_accuracy_check(self):
+        instance = spatial_instance([0.0, 10.0, 28.0])
+        finder = CandidateFinder(instance)
+        worker = instance.worker(1)
+        assert [t.task_id for t in finder.iter_candidates(worker, {2, 1})] == [1, 2]
+        # Ids outside the instance are simply never yielded.
+        assert [t.task_id for t in finder.iter_candidates(worker, {99})] == []
+
+
 class TestHasCandidates:
     def test_agrees_with_the_full_candidate_list(self, small_synthetic_instance):
         from repro.core.candidates import CandidateFinder

@@ -1,0 +1,285 @@
+"""Backend registry, selection, fallback, and cross-backend exactness."""
+
+import random
+
+import pytest
+
+from repro.algorithms.registry import build_solver
+from repro.flow import backends as backends_pkg
+from repro.flow.backends import (
+    AUTO_BACKEND,
+    BACKEND_ENV_VAR,
+    NumpyBackend,
+    PythonBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.flow.backends import numpy_backend as numpy_backend_module
+from repro.flow.backends.base import KernelBackend
+from repro.flow.exceptions import BackendUnavailableError
+from repro.flow.kernel import ArcArena, dag_potentials, solve_mcf
+from repro.flow.validate import validate_arena_flow
+
+NUMPY_AVAILABLE = NumpyBackend().is_available()
+
+needs_numpy = pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+
+
+def _no_numpy(monkeypatch):
+    """Make the numpy backend behave as if numpy were not installed."""
+
+    def _raise():
+        raise ImportError("numpy is not installed (simulated)")
+
+    monkeypatch.setattr(numpy_backend_module, "load_numpy", _raise)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert "python" in registered_backends()
+        assert "numpy" in registered_backends()
+
+    def test_python_backend_is_always_available(self):
+        assert "python" in available_backends()
+
+    def test_unknown_name_raises_with_did_you_mean(self):
+        with pytest.raises(KeyError, match=r"did you mean 'numpy'"):
+            get_backend("numppy")
+        with pytest.raises(KeyError, match=r"known backends"):
+            get_backend("fortran")
+
+    def test_register_rejects_reserved_and_duplicate_names(self):
+        class Bad(PythonBackend):
+            name = AUTO_BACKEND
+
+        with pytest.raises(ValueError, match="reserved"):
+            register_backend(Bad())
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(PythonBackend())
+
+    def test_register_and_resolve_custom_backend(self):
+        class Tracing(PythonBackend):
+            name = "tracing-test"
+
+        backend = Tracing()
+        register_backend(backend)
+        try:
+            assert resolve_backend("tracing-test") is backend
+        finally:
+            del backends_pkg._BACKENDS["tracing-test"]
+
+
+class TestResolution:
+    def test_explicit_names_resolve(self):
+        assert resolve_backend("python").name == "python"
+        if NUMPY_AVAILABLE:
+            assert resolve_backend("numpy").name == "numpy"
+
+    def test_backend_instances_pass_through(self):
+        backend = PythonBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        expected = "numpy" if NUMPY_AVAILABLE else "python"
+        assert resolve_backend(AUTO_BACKEND).name == expected
+        assert resolve_backend(None).name == expected
+        assert default_backend_name() == expected
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert resolve_backend(None).name == "python"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend(None).name == default_backend_name()
+
+    def test_env_var_is_overridden_by_explicit_choice(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        if NUMPY_AVAILABLE:
+            assert resolve_backend("numpy").name == "numpy"
+
+    def test_env_var_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numppy")
+        with pytest.raises(KeyError, match="did you mean"):
+            resolve_backend(None)
+
+    def test_non_string_choice_raises(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+
+class TestNumpyAbsentFallback:
+    def test_auto_falls_back_to_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        _no_numpy(monkeypatch)
+        assert not NumpyBackend().is_available()
+        assert available_backends() == ["python"]
+        assert resolve_backend(None).name == "python"
+        assert resolve_backend(AUTO_BACKEND).name == "python"
+
+    def test_explicit_numpy_raises_instead_of_falling_back(self, monkeypatch):
+        _no_numpy(monkeypatch)
+        with pytest.raises(BackendUnavailableError, match="numpy"):
+            resolve_backend("numpy")
+
+    def test_solve_mcf_still_works_via_auto(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        _no_numpy(monkeypatch)
+        arena = ArcArena(2)
+        arena.add_arc(0, 1, 3, 1.0)
+        result = solve_mcf(arena, 0, 1)
+        assert result.flow_value == 3
+
+
+def ltc_arena(seed, num_workers=12, num_tasks=9, capacity=4, max_need=3,
+              density=0.5):
+    """A random LTC-shaped reduction; returns (arena, topo, pair_arcs)."""
+    rng = random.Random(seed)
+    arena = ArcArena(2)  # 0 = source, 1 = sink
+    worker_nodes = [arena.add_node() for _ in range(num_workers)]
+    task_nodes = [arena.add_node() for _ in range(num_tasks)]
+    for node in worker_nodes:
+        arena.add_arc(0, node, rng.randint(1, capacity), 0.0)
+    pair_arcs = []
+    for w, wnode in enumerate(worker_nodes):
+        for t, tnode in enumerate(task_nodes):
+            if rng.random() < density:
+                pair_arcs.append(arena.add_arc(wnode, tnode, 1, -rng.uniform(0.1, 1.0)))
+    for tnode in task_nodes:
+        arena.add_arc(tnode, 1, rng.randint(1, max_need), 0.0)
+    topo = [0] + worker_nodes + task_nodes + [1]
+    return arena, topo, pair_arcs
+
+
+@needs_numpy
+class TestBackendsAreBitExact:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_flows_potentials_and_augmentations(self, seed):
+        outcomes = {}
+        for backend in ("python", "numpy"):
+            arena, topo, _ = ltc_arena(seed)
+            pot = dag_potentials(arena, 0, topo)
+            result = solve_mcf(arena, 0, 1, potentials=pot, backend=backend)
+            assert validate_arena_flow(
+                arena, 0, 1, expected_value=result.flow_value
+            ) == []
+            outcomes[backend] = (
+                list(arena.flow),
+                result.flow_value,
+                result.total_cost,
+                result.augmentations,
+                result.potentials,
+            )
+        # Full tuple equality: bit-identical flows, costs and potentials.
+        assert outcomes["python"] == outcomes["numpy"]
+
+    def test_identical_through_warm_restart(self):
+        outcomes = {}
+        for backend in ("python", "numpy"):
+            arena, topo, _ = ltc_arena(99)
+            pot = dag_potentials(arena, 0, topo)
+            first = solve_mcf(
+                arena, 0, 1, max_flow=3, potentials=pot, backend=backend
+            )
+            second = solve_mcf(
+                arena, 0, 1, potentials=first.potentials, backend=backend
+            )
+            outcomes[backend] = (list(arena.flow), second.potentials)
+        assert outcomes["python"] == outcomes["numpy"]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_identical_on_rows_exercising_the_vector_path(self, seed, monkeypatch):
+        """Rows above VECTOR_MIN_ROW go through the vectorized scan.
+
+        The production threshold is sized for performance (a couple of
+        hundred arcs), so lower it here to push these dense-but-small
+        graphs through the vector path; the threshold is a speed knob with
+        no semantic content, which is exactly what this asserts.
+        """
+        monkeypatch.setattr(numpy_backend_module, "VECTOR_MIN_ROW", 4)
+        outcomes = {}
+        for backend in ("python", "numpy"):
+            arena, topo, _ = ltc_arena(
+                seed, num_workers=20, num_tasks=15, density=1.0
+            )
+            pot = dag_potentials(arena, 0, topo)
+            result = solve_mcf(arena, 0, 1, potentials=pot, backend=backend)
+            assert validate_arena_flow(
+                arena, 0, 1, expected_value=result.flow_value
+            ) == []
+            outcomes[backend] = (
+                list(arena.flow),
+                result.total_cost,
+                result.augmentations,
+                result.potentials,
+            )
+        assert outcomes["python"] == outcomes["numpy"]
+
+    def test_short_row_graphs_delegate_to_the_python_backend(self, monkeypatch):
+        """Below-threshold graphs skip the numpy mirrors entirely."""
+        calls = []
+        fallback = numpy_backend_module._SCALAR_FALLBACK
+        original = fallback.run
+
+        def spy(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(fallback, "run", spy)
+        arena, topo, _ = ltc_arena(3)  # sparse: every row far below threshold
+        pot = dag_potentials(arena, 0, topo)
+        solve_mcf(arena, 0, 1, potentials=pot, backend="numpy")
+        assert len(calls) == 1
+
+    def test_bellman_ford_route_matches_too(self):
+        """No warm potentials supplied: both backends run after Bellman-Ford."""
+        outcomes = {}
+        for backend in ("python", "numpy"):
+            arena, _, _ = ltc_arena(7)
+            result = solve_mcf(arena, 0, 1, backend=backend)
+            outcomes[backend] = (list(arena.flow), result.potentials)
+        assert outcomes["python"] == outcomes["numpy"]
+
+
+class TestSolverSpecIntegration:
+    def test_backend_param_reaches_the_solver(self):
+        solver = build_solver("MCF-LTC?backend=python")
+        assert solver.backend == "python"
+
+    @needs_numpy
+    def test_numpy_spec_solves_identically(self, small_synthetic_instance):
+        by_backend = {}
+        for spec in ("MCF-LTC?backend=python", "MCF-LTC?backend=numpy"):
+            result = build_solver(spec).solve(small_synthetic_instance)
+            by_backend[spec] = [
+                (a.worker_index, a.task_id) for a in result.arrangement.assignments
+            ]
+        assert (
+            by_backend["MCF-LTC?backend=python"]
+            == by_backend["MCF-LTC?backend=numpy"]
+        )
+
+    def test_auto_spec_is_accepted(self):
+        assert build_solver("MCF-LTC?backend=auto").backend == "auto"
+
+    def test_unknown_backend_fails_fast_with_hint(self):
+        with pytest.raises(KeyError, match="did you mean 'numpy'"):
+            build_solver("MCF-LTC?backend=numppy")
+
+
+class TestBackendContract:
+    def test_backends_are_kernel_backends(self):
+        for name in registered_backends():
+            assert isinstance(get_backend(name), KernelBackend)
+
+    def test_base_backend_defaults_to_available(self):
+        class Minimal(KernelBackend):
+            name = "minimal-test"
+
+            def run(self, graph, source, sink, target, potentials):
+                return 0, 0, potentials
+
+        assert Minimal().is_available()

@@ -21,6 +21,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.flow.backends import available_backends
 from repro.flow.kernel import ArcArena, dag_potentials, solve_mcf
 from repro.flow.reference import LegacyFlowNetwork, legacy_successive_shortest_paths
 from repro.flow.validate import validate_arena_flow
@@ -39,7 +40,7 @@ def random_ltc_shape(seed, num_workers, num_tasks, capacity, max_need, density):
     return pairs, caps, needs
 
 
-def solve_with_kernel(pairs, caps, needs):
+def solve_with_kernel(pairs, caps, needs, backend=None):
     arena = ArcArena(2)  # 0 = source, 1 = sink
     worker_nodes = [arena.add_node() for _ in caps]
     task_nodes = [arena.add_node() for _ in needs]
@@ -51,7 +52,9 @@ def solve_with_kernel(pairs, caps, needs):
     for node, need in zip(task_nodes, needs):
         arena.add_arc(node, 1, need, 0.0)
     topo = [0] + worker_nodes + task_nodes + [1]
-    result = solve_mcf(arena, 0, 1, potentials=dag_potentials(arena, 0, topo))
+    result = solve_mcf(
+        arena, 0, 1, potentials=dag_potentials(arena, 0, topo), backend=backend
+    )
     flows = {pair: arena.flow[arc] for pair, arc in pair_arcs.items()}
     violations = validate_arena_flow(arena, 0, 1, expected_value=result.flow_value)
     return result, flows, violations
@@ -96,17 +99,62 @@ class TestKernelMatchesReferenceSSPA:
         assert kernel_flows == ref_flows
         assert result.augmentations == ref_augmentations
 
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
     @pytest.mark.parametrize("seed", range(6))
-    def test_dense_instances(self, seed):
+    def test_dense_instances(self, seed, backend):
+        if backend == "numpy" and "numpy" not in available_backends():
+            pytest.skip("numpy not installed")
         pairs, caps, needs = random_ltc_shape(
             seed, num_workers=12, num_tasks=9, capacity=4, max_need=3, density=1.0
         )
-        result, kernel_flows, violations = solve_with_kernel(pairs, caps, needs)
+        result, kernel_flows, violations = solve_with_kernel(
+            pairs, caps, needs, backend=backend
+        )
         ref_value, ref_cost, _, ref_flows = solve_with_reference(pairs, caps, needs)
         assert violations == []
         assert result.flow_value == ref_value
         assert result.total_cost == pytest.approx(ref_cost, abs=1e-9)
         assert kernel_flows == ref_flows
+
+
+class TestBackendsMatchEachOtherAndReference:
+    """Three-way differential: numpy backend vs python backend vs oracle."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        num_workers=st.integers(1, 10),
+        num_tasks=st.integers(1, 8),
+        capacity=st.integers(1, 4),
+        max_need=st.integers(1, 3),
+    )
+    def test_numpy_backend_is_bit_exact(
+        self, seed, num_workers, num_tasks, capacity, max_need
+    ):
+        if "numpy" not in available_backends():
+            pytest.skip("numpy not installed")
+        pairs, caps, needs = random_ltc_shape(
+            seed, num_workers, num_tasks, capacity, max_need, density=0.5
+        )
+        py_result, py_flows, py_violations = solve_with_kernel(
+            pairs, caps, needs, backend="python"
+        )
+        np_result, np_flows, np_violations = solve_with_kernel(
+            pairs, caps, needs, backend="numpy"
+        )
+        ref_value, ref_cost, _, ref_flows = solve_with_reference(pairs, caps, needs)
+        assert py_violations == [] and np_violations == []
+        # Bit-exact across backends: flows, costs, augmentation counts and
+        # final potentials all agree exactly (no approx comparisons).
+        assert np_flows == py_flows
+        assert np_result.flow_value == py_result.flow_value
+        assert np_result.total_cost == py_result.total_cost
+        assert np_result.augmentations == py_result.augmentations
+        assert np_result.potentials == py_result.potentials
+        # And both agree with the pre-refactor oracle.
+        assert py_result.flow_value == ref_value
+        assert py_flows == ref_flows
+        assert py_result.total_cost == pytest.approx(ref_cost, abs=1e-9)
 
 
 def brute_force_best(pairs, caps, needs):

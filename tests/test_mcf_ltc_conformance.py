@@ -20,8 +20,17 @@ import pytest
 
 from repro.algorithms.mcf_ltc import MCFLTCSolver
 from repro.datagen.synthetic import SyntheticConfig, generate_synthetic_instance
+from repro.flow.backends import available_backends
 
 FIXTURE = Path(__file__).parent / "data" / "mcf_ltc_conformance.json"
+
+# Every registered flow backend must reproduce the golden arrangements
+# byte-for-byte — the backend contract makes backend choice purely a speed
+# knob.  ``None`` additionally exercises the default resolution path
+# (REPRO_FLOW_BACKEND / auto-selection).
+BACKENDS = [None, "python"] + (
+    ["numpy"] if "numpy" in available_backends() else []
+)
 
 
 def load_cases():
@@ -29,14 +38,15 @@ def load_cases():
         return json.load(fh)["cases"]
 
 
+@pytest.mark.parametrize("backend", BACKENDS, ids=lambda b: f"backend-{b or 'default'}")
 @pytest.mark.parametrize("case", load_cases(), ids=lambda c: f"seed{c['config']['seed']}")
 class TestArrangementConformance:
-    def test_assignments_identical_to_pre_refactor_capture(self, case):
+    def test_assignments_identical_to_pre_refactor_capture(self, case, backend):
         cfg = case["config"]
         instance = generate_synthetic_instance(
             SyntheticConfig(name=f"conformance-{cfg['seed']}", **cfg)
         )
-        result = MCFLTCSolver().solve(instance)
+        result = MCFLTCSolver(backend=backend).solve(instance)
         assignments = [[a.worker_index, a.task_id] for a in result.arrangement.assignments]
         assert assignments == case["assignments"]
         assert result.completed == case["completed"]
@@ -45,12 +55,12 @@ class TestArrangementConformance:
         assert result.extra["flow_units"] == case["flow_units"]
         assert result.extra["batches"] == case["batches"]
 
-    def test_arrangement_satisfies_all_constraints(self, case):
+    def test_arrangement_satisfies_all_constraints(self, case, backend):
         cfg = case["config"]
         instance = generate_synthetic_instance(
             SyntheticConfig(name=f"conformance-{cfg['seed']}", **cfg)
         )
-        result = MCFLTCSolver().solve(instance)
+        result = MCFLTCSolver(backend=backend).solve(instance)
         assert result.arrangement.constraint_violations(
             instance.workers_by_index()
         ) == []
