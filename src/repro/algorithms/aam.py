@@ -14,30 +14,66 @@ by ``min(Acc*(w, t), delta - S[t])`` so that highly accurate workers are not
 wasted on tasks that only need a small top-up.  Once ``avg < maxRemain`` the
 hardest tasks dominate the completion time and AAM switches to **Largest
 Remaining First (LRF)**, scoring tasks by ``delta - S[t]``.
+
+Both quantities are maintained *incrementally* as assignments land — a
+compensated running sum plus a lazy-deletion max-heap of per-task needs —
+instead of rebuilding the remaining list over all tasks on every arrival
+(the pre-engine O(W*T) scan).  ``maxRemain`` is exact (same float set as
+the naive scan); the running sum can differ from the naive left-to-right
+sum by accumulated rounding ulps, so whenever ``avg`` lands inside a
+small band around ``maxRemain`` — the only place an ulp could flip the
+LGF/LRF switch — the legacy sum is recomputed verbatim and decides.
+Arrangements therefore stay byte-identical to the pre-engine loop,
+knife-edges included.  Candidate scoring itself runs on the candidate
+engine's batched ``topk`` path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import OnlineSolver
 from repro.core.arrangement import Arrangement, Assignment
+from repro.core.candidate_engine import validate_candidate_backend_name
 from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
 from repro.core.worker import Worker
-from repro.structures.topk import TopKHeap
 
 
 class AAMSolver(OnlineSolver):
-    """Average And Max online solver (paper Algorithm 3)."""
+    """Average And Max online solver (paper Algorithm 3).
+
+    Parameters
+    ----------
+    use_spatial_index:
+        Restrict candidate queries to the grid index under the sigmoid
+        accuracy model; disabling forces the exhaustive scan.
+    candidates:
+        Candidate-engine backend name (``"python"``, ``"numpy"``,
+        ``"auto"``); ``None`` defers to ``REPRO_CANDIDATES_BACKEND`` /
+        auto-detection.  Reachable from spec strings as
+        ``"AAM?candidates=numpy"``.
+    """
 
     name = "AAM"
 
-    def __init__(self, use_spatial_index: bool = True) -> None:
+    def __init__(
+        self, use_spatial_index: bool = True, candidates: Optional[str] = None
+    ) -> None:
+        validate_candidate_backend_name(candidates)
         self._use_spatial_index = use_spatial_index
+        self._candidates_backend = candidates
         self._instance: Optional[LTCInstance] = None
         self._arrangement: Optional[Arrangement] = None
         self._candidates: Optional[CandidateFinder] = None
+        self._completed: Optional[Sequence[bool]] = None
+        self._need: Optional[Sequence[float]] = None
+        self._uncompleted_count = 0
+        self._remaining_sum = 0.0
+        self._sum_compensation = 0.0
+        self._abs_update_total = 0.0
+        self._need_heap: List[Tuple[float, int]] = []
         self._lgf_rounds = 0
         self._lrf_rounds = 0
 
@@ -47,8 +83,29 @@ class AAMSolver(OnlineSolver):
         self._instance = instance
         self._arrangement = instance.new_arrangement()
         self._candidates = CandidateFinder(
-            instance, use_spatial_index=self._use_spatial_index
+            instance,
+            use_spatial_index=self._use_spatial_index,
+            backend=self._candidates_backend,
         )
+        engine = self._candidates.engine
+        delta = self._arrangement.delta
+        self._completed = engine.bool_array()
+        self._need = engine.float_array(delta)
+        self._uncompleted_count = instance.num_tasks
+        # Seed the running sum with the same left-to-right addition order
+        # the naive scan uses, so the two start bit-identical.
+        total = 0.0
+        for _ in range(instance.num_tasks):
+            total += delta
+        self._remaining_sum = total
+        self._sum_compensation = 0.0
+        self._abs_update_total = total
+        # Lazy-deletion max-heap of (-need, position); stale entries are
+        # skipped at query time by comparing against the live need array.
+        # (heapify is a no-op for this all-equal seeding but keeps the
+        # invariant independent of how the seed values are chosen.)
+        self._need_heap = [(-delta, position) for position in range(instance.num_tasks)]
+        heapq.heapify(self._need_heap)
         self._lgf_rounds = 0
         self._lrf_rounds = 0
 
@@ -58,44 +115,106 @@ class AAMSolver(OnlineSolver):
             raise RuntimeError("start() must be called before reading the arrangement")
         return self._arrangement
 
+    # ------------------------------------------------- incremental remaining
+
+    def _add_to_sum(self, value: float) -> None:
+        """Kahan-compensated update of the running remaining-``Acc*`` sum.
+
+        ``_abs_update_total`` accumulates the magnitude of everything ever
+        folded in; both this sum's and the naive scan's rounding errors
+        are bounded by small multiples of ``eps`` times that magnitude,
+        which is what the knife-edge band in :meth:`observe` scales with.
+        """
+        self._abs_update_total += abs(value)
+        adjusted = value - self._sum_compensation
+        total = self._remaining_sum + adjusted
+        self._sum_compensation = (total - self._remaining_sum) - adjusted
+        self._remaining_sum = total
+
+    def _note_assignment(self, task_id: int) -> None:
+        """Fold one just-landed assignment into the incremental stats."""
+        arrangement = self._arrangement
+        engine = self._candidates.engine
+        position = engine.position_of[task_id]
+        old_need = float(self._need[position])
+        if arrangement.is_task_complete(task_id):
+            self._completed[position] = True
+            self._uncompleted_count -= 1
+            self._add_to_sum(-old_need)
+        else:
+            new_need = arrangement.delta - arrangement.accumulated_of(task_id)
+            self._add_to_sum(new_need - old_need)
+            self._need[position] = new_need
+            heapq.heappush(self._need_heap, (-new_need, position))
+
+    def _current_max_remaining(self) -> float:
+        """Largest remaining need among uncompleted tasks (exact).
+
+        Pops heap entries that are stale — their task completed, or their
+        recorded need no longer matches the live array (a newer entry for
+        the same task sits deeper).  Amortised O(log) per assignment.
+        """
+        heap = self._need_heap
+        completed, need = self._completed, self._need
+        while heap:
+            negated, position = heap[0]
+            if not completed[position] and float(need[position]) == -negated:
+                return -negated
+            heapq.heappop(heap)
+        raise RuntimeError("no uncompleted task remains")  # pragma: no cover
+
+    # ---------------------------------------------------------------- observe
+
     def observe(self, worker: Worker) -> List[Assignment]:
         """Assign up to K tasks to ``worker`` using the LGF/LRF hybrid rule."""
         if self._instance is None or self._arrangement is None or self._candidates is None:
             raise RuntimeError("start() must be called before observe()")
         arrangement = self._arrangement
         instance = self._instance
-        delta = arrangement.delta
 
         # "Average" work left per capacity unit vs. the single worst task.
-        remaining = [
-            arrangement.remaining_of(task.task_id)
-            for task in instance.tasks
-            if not arrangement.is_task_complete(task.task_id)
-        ]
-        if not remaining:
+        if self._uncompleted_count == 0:
             return []
-        avg = sum(remaining) / instance.capacity
-        max_remain = max(remaining)
+        avg = self._remaining_sum / instance.capacity
+        max_remain = self._current_max_remaining()
+        # Knife-edge guard: the incremental sum can differ from the naive
+        # left-to-right sum by accumulated rounding, which is exactly
+        # enough to flip the strategy switch when avg and maxRemain
+        # collide (e.g. |T| == K at the first arrival).  Inside the band
+        # the legacy sum is recomputed verbatim — same iteration order,
+        # same association — so the decision is bit-for-bit the
+        # pre-engine one.  Both sums' errors are bounded by small
+        # multiples of eps times the total folded-in magnitude (the naive
+        # scan's additionally by eps times the uncompleted-task count), so
+        # the band scales with ``_abs_update_total`` (divided by K, like
+        # the averages) and with the live task count; outside it the
+        # branch is free.
+        band = max(1e-9, 1e-15 * self._uncompleted_count) * max(
+            1.0, abs(avg), self._abs_update_total / instance.capacity
+        )
+        if abs(avg - max_remain) <= band:
+            avg = sum(
+                arrangement.remaining_of(task.task_id)
+                for task in instance.tasks
+                if not arrangement.is_task_complete(task.task_id)
+            ) / instance.capacity
         use_lgf = avg >= max_remain
         if use_lgf:
             self._lgf_rounds += 1
         else:
             self._lrf_rounds += 1
 
-        heap: TopKHeap = TopKHeap(worker.capacity)
-        for task in self._candidates.candidates(worker):
-            if arrangement.is_task_complete(task.task_id):
-                continue
-            need = delta - arrangement.accumulated_of(task.task_id)
-            if use_lgf:
-                score = min(instance.acc_star(worker, task), need)
-            else:
-                score = need
-            heap.push(score, task)
-
+        picks = self._candidates.engine.topk(
+            worker,
+            worker.capacity,
+            "gain" if use_lgf else "need",
+            self._completed,
+            self._need,
+        )
         assignments: List[Assignment] = []
-        for _, task in heap.pop_all():
+        for task in picks:
             assignments.append(arrangement.assign(worker, task))
+            self._note_assignment(task.task_id)
         return assignments
 
     def diagnostics(self) -> Dict[str, float]:
@@ -116,19 +235,18 @@ class LGFOnlySolver(AAMSolver):
 
     def observe(self, worker: Worker) -> List[Assignment]:
         arrangement = self.arrangement
-        instance = self._instance
         candidates = self._candidates
-        assert instance is not None and candidates is not None
-        delta = arrangement.delta
+        assert candidates is not None
         self._lgf_rounds += 1
 
-        heap: TopKHeap = TopKHeap(worker.capacity)
-        for task in candidates.candidates(worker):
-            if arrangement.is_task_complete(task.task_id):
-                continue
-            need = delta - arrangement.accumulated_of(task.task_id)
-            heap.push(min(instance.acc_star(worker, task), need), task)
-        return [arrangement.assign(worker, task) for _, task in heap.pop_all()]
+        picks = candidates.engine.topk(
+            worker, worker.capacity, "gain", self._completed, self._need
+        )
+        assignments = []
+        for task in picks:
+            assignments.append(arrangement.assign(worker, task))
+            self._note_assignment(task.task_id)
+        return assignments
 
 
 class LRFOnlySolver(AAMSolver):
@@ -140,12 +258,13 @@ class LRFOnlySolver(AAMSolver):
         arrangement = self.arrangement
         candidates = self._candidates
         assert candidates is not None
-        delta = arrangement.delta
         self._lrf_rounds += 1
 
-        heap: TopKHeap = TopKHeap(worker.capacity)
-        for task in candidates.candidates(worker):
-            if arrangement.is_task_complete(task.task_id):
-                continue
-            heap.push(delta - arrangement.accumulated_of(task.task_id), task)
-        return [arrangement.assign(worker, task) for _, task in heap.pop_all()]
+        picks = candidates.engine.topk(
+            worker, worker.capacity, "need", self._completed, self._need
+        )
+        assignments = []
+        for task in picks:
+            assignments.append(arrangement.assign(worker, task))
+            self._note_assignment(task.task_id)
+        return assignments

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.algorithms.base import OfflineSolver, OnlineSolver, SolveResult
 from repro.core.arrangement import Arrangement, Assignment
+from repro.core.candidate_engine import validate_candidate_backend_name
 from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
 from repro.core.worker import Worker
@@ -28,13 +29,19 @@ class BaseOffSolver(OfflineSolver):
 
     name = "Base-off"
 
-    def __init__(self, use_spatial_index: bool = True) -> None:
+    def __init__(
+        self, use_spatial_index: bool = True, candidates: Optional[str] = None
+    ) -> None:
+        validate_candidate_backend_name(candidates)
         self.use_spatial_index = use_spatial_index
+        self.candidates = candidates
 
     def solve(self, instance: LTCInstance) -> SolveResult:
         arrangement = instance.new_arrangement()
         candidates = CandidateFinder(
-            instance, use_spatial_index=self.use_spatial_index
+            instance,
+            use_spatial_index=self.use_spatial_index,
+            backend=self.candidates,
         )
 
         # Offline knowledge: which (future) workers can serve each task.
@@ -94,10 +101,13 @@ class RandomOnlineSolver(OnlineSolver):
         seed: int = 0,
         use_spatial_index: bool = True,
         skip_completed: bool = False,
+        candidates: Optional[str] = None,
     ) -> None:
+        validate_candidate_backend_name(candidates)
         self.seed = seed
         self.use_spatial_index = use_spatial_index
         self.skip_completed = skip_completed
+        self.candidates = candidates
         self._rng = np.random.default_rng(seed)
         self._instance: Optional[LTCInstance] = None
         self._arrangement: Optional[Arrangement] = None
@@ -107,7 +117,9 @@ class RandomOnlineSolver(OnlineSolver):
         self._instance = instance
         self._arrangement = instance.new_arrangement()
         self._candidates = CandidateFinder(
-            instance, use_spatial_index=self.use_spatial_index
+            instance,
+            use_spatial_index=self.use_spatial_index,
+            backend=self.candidates,
         )
         self._rng = np.random.default_rng(self.seed)
 

@@ -4,30 +4,56 @@ LAF is the simplest online greedy: when a worker arrives, assign them the
 (at most) K uncompleted eligible tasks with the largest ``Acc*``.  The paper
 proves a competitive ratio of 7.967 under the assumption
 ``epsilon <= e^-1.5`` (delta >= 3).
+
+Per arrival the selection runs on the candidate engine's bulk
+``topk_acc_star`` path: one radius gather plus one batched ``Acc*``
+evaluation over the candidate set, with completed tasks excluded through a
+per-position flag container maintained incrementally as assignments land.
+The arrangement is byte-identical to the pre-engine object-level loop
+(pinned by the differential suite against
+:func:`repro.core.candidates_legacy.legacy_laf_arrangement`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.algorithms.base import OnlineSolver
 from repro.core.arrangement import Arrangement, Assignment
+from repro.core.candidate_engine import validate_candidate_backend_name
 from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
 from repro.core.worker import Worker
-from repro.structures.topk import TopKHeap
 
 
 class LAFSolver(OnlineSolver):
-    """Largest Acc First online solver (paper Algorithm 2)."""
+    """Largest Acc First online solver (paper Algorithm 2).
+
+    Parameters
+    ----------
+    use_spatial_index:
+        Restrict candidate queries to the grid index under the sigmoid
+        accuracy model; disabling forces the exhaustive scan.
+    candidates:
+        Candidate-engine backend name (``"python"``, ``"numpy"``,
+        ``"auto"``); ``None`` defers to ``REPRO_CANDIDATES_BACKEND`` /
+        auto-detection.  Backends are exact, so arrangements do not depend
+        on this choice; it is reachable from spec strings as
+        ``"LAF?candidates=numpy"``.  Unknown names raise immediately.
+    """
 
     name = "LAF"
 
-    def __init__(self, use_spatial_index: bool = True) -> None:
+    def __init__(
+        self, use_spatial_index: bool = True, candidates: Optional[str] = None
+    ) -> None:
+        validate_candidate_backend_name(candidates)
         self._use_spatial_index = use_spatial_index
+        self._candidates_backend = candidates
         self._instance: Optional[LTCInstance] = None
         self._arrangement: Optional[Arrangement] = None
         self._candidates: Optional[CandidateFinder] = None
+        self._completed: Optional[Sequence[bool]] = None
         self._workers_with_assignments = 0
 
     # --------------------------------------------------------------- protocol
@@ -36,8 +62,11 @@ class LAFSolver(OnlineSolver):
         self._instance = instance
         self._arrangement = instance.new_arrangement()
         self._candidates = CandidateFinder(
-            instance, use_spatial_index=self._use_spatial_index
+            instance,
+            use_spatial_index=self._use_spatial_index,
+            backend=self._candidates_backend,
         )
+        self._completed = self._candidates.engine.bool_array()
         self._workers_with_assignments = 0
 
     @property
@@ -51,17 +80,14 @@ class LAFSolver(OnlineSolver):
         if self._instance is None or self._arrangement is None or self._candidates is None:
             raise RuntimeError("start() must be called before observe()")
         arrangement = self._arrangement
-        instance = self._instance
-
-        heap: TopKHeap = TopKHeap(worker.capacity)
-        for task in self._candidates.candidates(worker):
-            if arrangement.is_task_complete(task.task_id):
-                continue
-            heap.push(instance.acc_star(worker, task), task)
+        engine = self._candidates.engine
+        completed = self._completed
 
         assignments: List[Assignment] = []
-        for _, task in heap.pop_all():
+        for task in engine.topk_acc_star(worker, worker.capacity, completed):
             assignments.append(arrangement.assign(worker, task))
+            if arrangement.is_task_complete(task.task_id):
+                completed[engine.position_of[task.task_id]] = True
         if assignments:
             self._workers_with_assignments += 1
         return assignments

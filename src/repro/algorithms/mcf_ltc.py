@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import OfflineSolver, SolveResult
 from repro.core.arrangement import Arrangement
+from repro.core.candidate_engine import validate_candidate_backend_name
 from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
 from repro.core.task import Task
@@ -88,6 +89,13 @@ class MCFLTCSolver(OfflineSolver):
         so arrangements do not depend on this choice; it is reachable from
         spec strings as ``"MCF-LTC?backend=numpy"``.  Unknown names raise
         immediately with a did-you-mean suggestion.
+    candidates:
+        Which :mod:`repro.core.candidate_engine` backend generates each
+        batch's eligible pairs (``"python"``, ``"numpy"``, ``"auto"``, or
+        ``None`` to defer to ``REPRO_CANDIDATES_BACKEND`` /
+        auto-detection).  Candidate backends are exact down to pair order,
+        so the arc arena — and therefore the arrangement — does not depend
+        on this choice either; spec form ``"MCF-LTC?candidates=numpy"``.
     """
 
     name = "MCF-LTC"
@@ -98,22 +106,27 @@ class MCFLTCSolver(OfflineSolver):
         use_spatial_index: bool = True,
         index_tiebreak: bool = True,
         backend: Optional[str] = None,
+        candidates: Optional[str] = None,
     ) -> None:
         if batch_multiplier <= 0:
             raise ValueError("batch_multiplier must be positive")
         if backend is not None and backend != AUTO_BACKEND:
             get_backend(backend)  # unknown names fail fast, with a hint
+        validate_candidate_backend_name(candidates)
         self.batch_multiplier = batch_multiplier
         self.use_spatial_index = use_spatial_index
         self.index_tiebreak = index_tiebreak
         self.backend = backend
+        self.candidates = candidates
 
     # ------------------------------------------------------------------ solve
 
     def solve(self, instance: LTCInstance) -> SolveResult:
         arrangement = instance.new_arrangement()
         candidates = CandidateFinder(
-            instance, use_spatial_index=self.use_spatial_index
+            instance,
+            use_spatial_index=self.use_spatial_index,
+            backend=self.candidates,
         )
         delta = instance.delta
         capacity = instance.capacity

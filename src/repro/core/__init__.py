@@ -28,6 +28,7 @@ from repro.core.quality_threshold import (
     MIN_ACC_STAR,
 )
 from repro.core.arrangement import Arrangement, Assignment
+from repro.core.candidate_engine import CandidateEngine
 from repro.core.candidates import CandidateFinder, sigmoid_eligibility_radius
 from repro.core.instance import LTCInstance
 from repro.core.session import Session, SessionSnapshot, SessionStateError
@@ -54,6 +55,7 @@ __all__ = [
     "MIN_ACC_STAR",
     "Arrangement",
     "Assignment",
+    "CandidateEngine",
     "CandidateFinder",
     "sigmoid_eligibility_radius",
     "LTCInstance",

@@ -1,0 +1,177 @@
+"""The contract every candidate-engine backend implements.
+
+A backend answers the candidate-generation queries of a
+:class:`~repro.core.candidate_engine.engine.CandidateEngine` — "which task
+positions may this worker be assigned?", "does the worker have any
+candidate at all?", "what are the worker's best-``k`` assignable tasks
+under this scoring rule?" — over the engine's struct-of-arrays task
+snapshot.  Everything that is *state* (the flat coordinate arrays, the
+CSR-packed grid, the accuracy model, the eligibility threshold) lives on
+the engine; a backend is stateless between calls and only decides *how*
+the arrays are traversed.
+
+The conformance bar matches the flow kernel's
+(:mod:`repro.flow.backends.base`): **every backend must produce identical
+results**, down to ordering.  Concretely:
+
+* :meth:`CandidateBackend.eligible_positions` with ``ordered=True``
+  returns positions ascending (ascending task id) for grid-mode engines
+  and instance order for scan-mode engines — exactly the pre-engine
+  ``CandidateFinder`` iteration orders;
+* the eligibility decision is pinned to the scalar expression
+  ``Acc(w, t) >= min_accuracy - 1e-12`` with ``Acc`` evaluated by the
+  pure-python :meth:`~repro.core.candidate_engine.engine.CandidateEngine.scalar_accuracy`
+  path.  A vectorized backend may evaluate accuracies its own way **only
+  outside the decision band** (:data:`DECISION_BAND` around the
+  threshold, far wider than any accumulated float divergence); inside the
+  band it must re-check sequentially with the scalar path;
+* :meth:`CandidateBackend.topk` returns positions in the exact pop order
+  of a :class:`~repro.structures.topk.TopKHeap` fed the *scalar* scores
+  in candidate order (largest score first; ties favour the
+  earlier-pushed, i.e. lower-id, task).  A vectorized backend may use its
+  own score evaluations to *preselect* a superset — any candidate within
+  :data:`TOPK_SCORE_MARGIN` of its approximate k-th best score must
+  survive the cut — and then rescore that superset with the scalar path.
+
+``docs/candidates.md`` derives why the band/margin constants are safe.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.candidate_engine.engine import CandidateEngine
+    from repro.core.worker import Worker
+
+#: The slack applied to the eligibility threshold, shared with
+#: ``CandidateFinder.is_eligible`` (the decision is
+#: ``accuracy >= min_accuracy - ELIGIBILITY_EPS``).
+ELIGIBILITY_EPS = 1e-12
+
+#: Half-width of the accuracy interval around the eligibility threshold in
+#: which a vectorized backend must fall back to the scalar evaluation.
+#: Vectorized and scalar sigmoid evaluations agree to ~1e-14 absolute
+#: (accuracies live in [0, 1]); outside +-1e-9 their decisions provably
+#: coincide, inside it the scalar path is authoritative.
+DECISION_BAND = 1e-9
+
+#: Score margin for vectorized top-k preselection: every candidate whose
+#: approximate score is within this of the approximate k-th best must be
+#: kept for the scalar rescoring pass.  Scores are ``Acc*`` values (or
+#: remaining-need caps of similar magnitude), approximated to ~1e-14
+#: absolute, so 1e-9 keeps every candidate the scalar heap could retain.
+TOPK_SCORE_MARGIN = 1e-9
+
+#: Scoring rules :meth:`CandidateBackend.topk` understands, matching the
+#: three online greedy rules of the paper's Algorithms 2-3:
+#: ``Acc*`` (LAF), ``min(Acc*, need)`` (LGF), ``need`` (LRF).
+TOPK_MODES = ("acc_star", "gain", "need")
+
+
+class CandidateBackendUnavailableError(RuntimeError):
+    """An explicitly named candidate backend cannot run in this environment.
+
+    Raised by :func:`repro.core.candidate_engine.resolve_candidate_backend`
+    when a backend is registered but its optional dependency (numpy) is
+    missing.  Auto selection never raises this — it falls back to the
+    pure-python backend.
+    """
+
+
+class CandidateBackend(ABC):
+    """One implementation of the candidate-generation queries.
+
+    Subclasses register an instance with
+    :func:`repro.core.candidate_engine.register_candidate_backend`; callers
+    name backends (``backend="numpy"``, the ``REPRO_CANDIDATES_BACKEND``
+    environment variable, or the ``candidates=`` solver-spec parameter) and
+    :func:`~repro.core.candidate_engine.resolve_candidate_backend` hands
+    out the shared instance.  Backends hold no per-engine state.
+    """
+
+    #: Registry name (what ``candidates=`` strings refer to).
+    name: str = ""
+
+    def is_available(self) -> bool:
+        """Whether the backend can run in this environment.
+
+        The default assumes no optional dependencies; the numpy backend
+        overrides this.  Auto selection skips unavailable backends, while
+        naming one explicitly raises
+        :class:`CandidateBackendUnavailableError`.
+        """
+        return True
+
+    # ----------------------------------------------------- state containers
+    # Solvers keep per-task state (completed flags, remaining-need values)
+    # in containers the backend can consume without conversion: plain lists
+    # for the scalar backend, numpy arrays for the vectorized one.  Both
+    # support the same element get/set syntax, so solver code is identical.
+
+    def bool_array(self, size: int) -> Sequence[bool]:
+        """A mutable all-``False`` per-position flag container."""
+        return [False] * size
+
+    def float_array(self, size: int, fill: float) -> Sequence[float]:
+        """A mutable per-position float container, initialised to ``fill``."""
+        return [fill] * size
+
+    # ------------------------------------------------------------- queries
+
+    @abstractmethod
+    def eligible_positions(
+        self,
+        engine: "CandidateEngine",
+        worker: "Worker",
+        allowed: Optional[Sequence[bool]] = None,
+        ordered: bool = True,
+    ) -> Sequence[int]:
+        """Task positions the worker may be assigned.
+
+        ``allowed`` optionally restricts the result by a per-position flag
+        container (built with
+        :meth:`~repro.core.candidate_engine.engine.CandidateEngine.make_allowed_mask`)
+        *before* the accuracy check.  ``ordered=True`` returns the oracle
+        iteration order (ascending position in grid mode, instance order in
+        scan modes); ``ordered=False`` may return any order — callers that
+        only count or test membership use it to skip the sort.
+        """
+
+    @abstractmethod
+    def has_candidates(self, engine: "CandidateEngine", worker: "Worker") -> bool:
+        """Whether at least one task is assignable to the worker."""
+
+    @abstractmethod
+    def topk(
+        self,
+        engine: "CandidateEngine",
+        worker: "Worker",
+        k: int,
+        mode: str = "acc_star",
+        completed: Optional[Sequence[bool]] = None,
+        need: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        """The worker's best-``k`` assignable task positions, in pop order.
+
+        ``mode`` picks the score (see :data:`TOPK_MODES`); ``completed``
+        excludes finished tasks before scoring; ``need`` supplies the
+        per-position remaining need ``delta - S[t]`` for the ``gain`` and
+        ``need`` modes.  The returned order is the assignment order:
+        largest scalar score first, ties broken towards the lower-id task.
+        """
+
+    def count_eligible(self, engine: "CandidateEngine") -> Sequence[int]:
+        """Per-position eligible-worker counts over the whole instance.
+
+        Used by ``candidate_count_per_task``: the unordered per-worker pool
+        is enough, so no backend should pay for sorting here.
+        """
+        counts = [0] * engine.num_tasks
+        for worker in engine.instance.workers:
+            for position in self.eligible_positions(
+                engine, worker, allowed=None, ordered=False
+            ):
+                counts[position] += 1
+        return counts

@@ -1,0 +1,330 @@
+"""Numpy-vectorized candidate backend.
+
+The engine's struct-of-arrays snapshot was designed so this backend can
+answer a worker's whole candidate query in a handful of array operations:
+gather the CSR cell rows overlapping the eligibility disk (one contiguous
+slice per cell row), filter by the exact squared distance, evaluate the
+sigmoid accuracy over the surviving block in one vectorized pass, and —
+for top-``k`` selection — preselect a score superset with
+``np.partition`` before handing it to the scalar heap.
+
+Bit-exactness with
+:class:`~repro.core.candidate_engine.python_backend.PythonCandidateBackend`
+is engineered the same way the numpy flow backend is (the PR 3 playbook):
+
+* the radius prefilter ``dx*dx + dy*dy <= r*r`` uses elementwise
+  multiplies and one add in the scalar association order — IEEE-754 gives
+  identical bits, so the gathered candidate *set* is exact;
+* the vectorized sigmoid is only trusted **outside the decision band**
+  (:data:`~repro.core.candidate_engine.base.DECISION_BAND` around the
+  eligibility threshold); the rare pairs inside the band are re-checked
+  with the engine's scalar path, which is authoritative;
+* top-``k`` preselection keeps every candidate within
+  :data:`~repro.core.candidate_engine.base.TOPK_SCORE_MARGIN` of the
+  approximate k-th best score — a guaranteed superset of the scalar
+  heap's retained set — and the superset is rescored through the *shared*
+  scalar heap loop, so pop order (including the lower-id tie rule) is
+  identical by construction;
+* ``generic`` engines (arbitrary python accuracy models) are delegated
+  wholesale to the scalar backend: there is nothing to vectorize.
+
+Vectorization is also **adaptive**: queries whose gathered block would
+carry fewer than :data:`VECTOR_MIN_BLOCK` candidates take the scalar path
+outright (the block size is bounded with plain-int CSR offset arithmetic
+before any array work), so the paper's sparse regime never pays numpy's
+fixed dispatch overhead.  At worst this backend *is* the python backend;
+in dense regimes it is measurably faster
+(``benchmarks/bench_candidates.py`` reports both regimes honestly).
+
+The numpy import is deferred to :func:`load_numpy` so that registering
+the backend never requires numpy; environments without it fall back to
+the pure-python backend via auto-selection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.core.candidate_engine.base import (
+    DECISION_BAND,
+    TOPK_SCORE_MARGIN,
+    CandidateBackend,
+)
+from repro.core.candidate_engine.python_backend import PythonCandidateBackend
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.candidate_engine.engine import CandidateEngine
+    from repro.core.worker import Worker
+
+_SCALAR_FALLBACK = PythonCandidateBackend()
+
+#: Queries whose gathered block would carry fewer candidates than this run
+#: through the scalar backend instead (exactly the flow-kernel numpy
+#: backend's adaptive-cutover playbook).  Numpy pays a fixed per-operation
+#: dispatch overhead (~25-30 small-array ops per query) that only
+#: amortises once a block carries on the order of a hundred candidates;
+#: the paper's sparse setup (~12 eligible tasks per worker) stays scalar,
+#: dense urban workloads vectorize.  Both paths produce identical results,
+#: so the cutover is purely a speed knob — it is what makes auto-selection
+#: safe to prefer numpy unconditionally.
+VECTOR_MIN_BLOCK = 96
+
+
+def load_numpy():
+    """Import and return numpy (split out so tests can simulate absence)."""
+    import numpy
+
+    return numpy
+
+
+class NumpyCandidateBackend(CandidateBackend):
+    """Vectorized array passes; available when numpy imports."""
+
+    name = "numpy"
+
+    def is_available(self) -> bool:
+        try:
+            load_numpy()
+        except ImportError:
+            return False
+        return True
+
+    # ----------------------------------------------------- state containers
+
+    def bool_array(self, size: int):
+        np = load_numpy()
+        return np.zeros(size, dtype=bool)
+
+    def float_array(self, size: int, fill: float):
+        np = load_numpy()
+        return np.full(size, fill, dtype=np.float64)
+
+    # -------------------------------------------------------- vector passes
+
+    def _small_query(self, engine: "CandidateEngine", worker: "Worker") -> bool:
+        """Whether this worker's query should take the scalar path.
+
+        The gathered-block size is bounded with plain-int CSR offset
+        arithmetic before any array work; radius/span computation is
+        repeated by the vector pass when it does run, which costs ~1us
+        against the much larger swing of picking the right path.
+        """
+        if engine.mode != "grid":
+            return engine.num_tasks < VECTOR_MIN_BLOCK
+        radius = engine.radius_of(worker)
+        if radius < 0:
+            return True
+        col0, col1, row0, row1 = engine.cell_span(
+            worker.location.x, worker.location.y, radius
+        )
+        start = engine.cell_start
+        assert start is not None
+        total = 0
+        for row in range(row0, row1 + 1):
+            base = row * engine.cols
+            total += start[base + col1 + 1] - start[base + col0]
+            if total >= VECTOR_MIN_BLOCK:
+                return False
+        return True
+
+    def _candidate_block(
+        self, engine: "CandidateEngine", np, worker: "Worker"
+    ) -> Tuple[object, object]:
+        """``(positions, squared_distances)`` after the exact radius prefilter.
+
+        In scan mode the block is every task in instance order (the oracle
+        scan applies no radius gate, and neither may we).  Returns empty
+        arrays when the worker can never reach the threshold.
+        """
+        mirrors = engine.numpy_mirrors(np)
+        wx, wy = worker.location.x, worker.location.y
+        if engine.mode == "grid":
+            radius = engine.radius_of(worker)
+            if radius < 0:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty
+            col0, col1, row0, row1 = engine.cell_span(wx, wy, radius)
+            start = engine.cell_start
+            assert start is not None
+            parts = []
+            parts_x = []
+            parts_y = []
+            for row in range(row0, row1 + 1):
+                base = row * engine.cols
+                lo = start[base + col0]
+                hi = start[base + col1 + 1]
+                if lo < hi:
+                    parts.append(mirrors.cell_positions[lo:hi])
+                    parts_x.append(mirrors.xs_cell[lo:hi])
+                    parts_y.append(mirrors.ys_cell[lo:hi])
+            if not parts:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty
+            if len(parts) == 1:
+                block, block_x, block_y = parts[0], parts_x[0], parts_y[0]
+            else:
+                block = np.concatenate(parts)
+                block_x = np.concatenate(parts_x)
+                block_y = np.concatenate(parts_y)
+            dxs = block_x - wx
+            dys = block_y - wy
+            d2 = dxs * dxs + dys * dys
+            keep = d2 <= radius * radius
+            return block[keep], d2[keep]
+        # Scan mode: the block is every task, gathered in instance order so
+        # that downstream filters preserve the oracle's iteration order.
+        block = mirrors.instance_positions
+        dxs = mirrors.xs[block] - wx
+        dys = mirrors.ys[block] - wy
+        return block, dxs * dxs + dys * dys
+
+    def _eligibility_mask(
+        self, engine: "CandidateEngine", np, worker: "Worker", positions, d2
+    ):
+        """Exact eligibility decisions for a candidate block.
+
+        The vectorized sigmoid decides outright outside the band around
+        the threshold; inside it (essentially never hit in practice) the
+        scalar path is consulted per pair.  ``sqrt`` of the prefilter's
+        squared distances and a clipped exponent stand in for the scalar
+        path's ``hypot`` and saturation guard — both approximations stay
+        ulps away from the scalar values, far inside the band.
+        """
+        exponent = np.minimum(np.sqrt(d2) - engine.d_max, 700.0)
+        acc = worker.accuracy / (1.0 + np.exp(exponent))
+        threshold = engine.threshold
+        eligible = acc >= threshold + DECISION_BAND
+        band = (acc >= threshold - DECISION_BAND) & ~eligible
+        if band.any():
+            scalar_eligible = engine.scalar_eligible
+            for i in np.nonzero(band)[0]:
+                eligible[i] = scalar_eligible(worker, int(positions[i]))
+        return eligible, acc
+
+    def _eligible_with_acc(
+        self, engine: "CandidateEngine", np, worker: "Worker",
+        allowed: Optional[Sequence[bool]],
+        sort: bool = True,
+    ):
+        """Eligible positions plus their (approximate) accuracies.
+
+        ``sort=True`` returns the oracle iteration order (ascending
+        position in grid mode; scan blocks already stream in instance
+        order).  Top-k skips the full sort and orders only its superset.
+        """
+        positions, d2 = self._candidate_block(engine, np, worker)
+        if allowed is not None and len(positions):
+            keep = np.asarray(allowed)[positions]
+            positions, d2 = positions[keep], d2[keep]
+        if not len(positions):
+            return positions, d2
+        eligible, acc = self._eligibility_mask(engine, np, worker, positions, d2)
+        positions = positions[eligible]
+        acc = acc[eligible]
+        if sort and engine.mode == "grid":
+            # Cell gathering is row-major; the oracle order is ascending
+            # task id, i.e. ascending position.
+            order = np.argsort(positions)
+            positions, acc = positions[order], acc[order]
+        return positions, acc
+
+    # ------------------------------------------------------------- queries
+
+    def eligible_positions(
+        self,
+        engine: "CandidateEngine",
+        worker: "Worker",
+        allowed: Optional[Sequence[bool]] = None,
+        ordered: bool = True,
+    ):
+        if engine.mode == "generic" or self._small_query(engine, worker):
+            return _SCALAR_FALLBACK.eligible_positions(
+                engine, worker, allowed, ordered
+            )
+        np = load_numpy()
+        positions, _ = self._eligible_with_acc(
+            engine, np, worker, allowed, sort=ordered
+        )
+        return positions
+
+    def has_candidates(self, engine: "CandidateEngine", worker: "Worker") -> bool:
+        if engine.mode == "generic" or self._small_query(engine, worker):
+            return _SCALAR_FALLBACK.has_candidates(engine, worker)
+        np = load_numpy()
+        positions, d2 = self._candidate_block(engine, np, worker)
+        if not len(positions):
+            return False
+        eligible, _ = self._eligibility_mask(engine, np, worker, positions, d2)
+        return bool(eligible.any())
+
+    def topk(
+        self,
+        engine: "CandidateEngine",
+        worker: "Worker",
+        k: int,
+        mode: str = "acc_star",
+        completed: Optional[Sequence[bool]] = None,
+        need: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        # Validate before any path forks so every backend fails alike
+        # (the vector path would otherwise hit an opaque numpy indexing
+        # error on a missing need array).
+        if mode not in ("acc_star", "gain", "need"):
+            raise ValueError(f"unknown topk mode {mode!r}")
+        if mode in ("gain", "need") and need is None:
+            raise ValueError(f"topk mode {mode!r} requires a need array")
+        if engine.mode == "generic" or self._small_query(engine, worker):
+            return _SCALAR_FALLBACK.topk(engine, worker, k, mode, completed, need)
+        np = load_numpy()
+        # Unsorted pass; only the (tiny) preselected superset needs the
+        # oracle ordering, so the full-set sort is skipped.  The completed
+        # filter lands *before* the accuracy evaluation (the two filters
+        # commute) so finished tasks cost no sigmoid work.
+        positions, d2 = self._candidate_block(engine, np, worker)
+        if completed is not None and len(positions):
+            keep = ~np.asarray(completed)[positions]
+            positions, d2 = positions[keep], d2[keep]
+        if len(positions):
+            eligible, acc = self._eligibility_mask(
+                engine, np, worker, positions, d2
+            )
+            positions, acc = positions[eligible], acc[eligible]
+        else:
+            acc = d2
+        count = len(positions)
+        if count == 0:
+            return []
+        if count > k:
+            if mode == "acc_star":
+                weight = 2.0 * acc - 1.0
+                scores = weight * weight
+            elif mode == "gain":
+                weight = 2.0 * acc - 1.0
+                scores = np.minimum(weight * weight, np.asarray(need)[positions])
+            else:  # "need" — the mode set was validated on entry
+                scores = np.asarray(need)[positions]
+            kth = np.partition(scores, count - k)[count - k]
+            positions = positions[scores >= kth - TOPK_SCORE_MARGIN]
+        if engine.mode == "grid":
+            superset = np.sort(positions).tolist()
+        else:
+            # Scan blocks stream in instance order — the oracle push order
+            # — and every filter above preserved it.
+            superset = positions.tolist()
+        # Rescore the superset through the shared scalar heap: pop order is
+        # the oracle's by construction.  The ``completed`` filter already
+        # happened, so it is not re-applied.
+        return PythonCandidateBackend.rescore_topk(
+            engine, worker, superset, k, mode, None, need
+        )
+
+    def count_eligible(self, engine: "CandidateEngine") -> Sequence[int]:
+        if engine.mode == "generic":
+            return _SCALAR_FALLBACK.count_eligible(engine)
+        np = load_numpy()
+        counts = np.zeros(engine.num_tasks, dtype=np.int64)
+        for worker in engine.instance.workers:
+            positions = self.eligible_positions(engine, worker, None, False)
+            if len(positions):
+                np.add.at(counts, positions, 1)
+        return counts

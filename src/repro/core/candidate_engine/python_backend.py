@@ -1,0 +1,123 @@
+"""Pure-python candidate backend — the semantics oracle.
+
+This backend *is* the candidate contract: it walks the engine's flat
+arrays with the pinned scalar float expressions
+(:meth:`~repro.core.candidate_engine.engine.CandidateEngine.scalar_accuracy`
+and friends) in the pinned iteration orders, and the pre-engine
+``CandidateFinder`` scan is differentially tested against it.  It is also
+meaningfully faster than that scan — CSR row slices replace dict-of-list
+cell lookups and the inlined sigmoid replaces ``Point``/``Task`` attribute
+chasing — so "scalar" does not mean "slow", just "no numpy".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.core.candidate_engine.base import CandidateBackend
+from repro.structures.topk import TopKHeap
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.candidate_engine.engine import CandidateEngine
+    from repro.core.worker import Worker
+
+
+class PythonCandidateBackend(CandidateBackend):
+    """Scalar loops over the engine's arrays; always available."""
+
+    name = "python"
+
+    def eligible_positions(
+        self,
+        engine: "CandidateEngine",
+        worker: "Worker",
+        allowed: Optional[Sequence[bool]] = None,
+        ordered: bool = True,
+    ) -> List[int]:
+        if engine.mode == "grid":
+            radius = engine.radius_of(worker)
+            if radius < 0:
+                return []
+            block = engine.grid_block_positions(
+                worker.location.x, worker.location.y, radius
+            )
+            if ordered:
+                block.sort()
+        else:
+            block = engine.instance_positions
+        scalar_eligible = engine.scalar_eligible
+        if allowed is None:
+            return [p for p in block if scalar_eligible(worker, p)]
+        return [p for p in block if allowed[p] and scalar_eligible(worker, p)]
+
+    def has_candidates(self, engine: "CandidateEngine", worker: "Worker") -> bool:
+        scalar_eligible = engine.scalar_eligible
+        if engine.mode == "grid":
+            radius = engine.radius_of(worker)
+            if radius < 0:
+                return False
+            # Unordered short-circuit straight off the CSR rows: no list is
+            # built and the first eligible task wins.
+            wx, wy = worker.location.x, worker.location.y
+            col0, col1, row0, row1 = engine.cell_span(wx, wy, radius)
+            r2 = radius * radius
+            xs, ys = engine.xs, engine.ys
+            start, order = engine.cell_start, engine.cell_positions
+            assert start is not None and order is not None
+            for row in range(row0, row1 + 1):
+                base = row * engine.cols
+                for p in order[start[base + col0] : start[base + col1 + 1]]:
+                    dx = xs[p] - wx
+                    dy = ys[p] - wy
+                    if dx * dx + dy * dy <= r2 and scalar_eligible(worker, p):
+                        return True
+            return False
+        return any(
+            scalar_eligible(worker, p) for p in engine.instance_positions
+        )
+
+    def topk(
+        self,
+        engine: "CandidateEngine",
+        worker: "Worker",
+        k: int,
+        mode: str = "acc_star",
+        completed: Optional[Sequence[bool]] = None,
+        need: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        positions = self.eligible_positions(engine, worker, None, True)
+        return self.rescore_topk(engine, worker, positions, k, mode, completed, need)
+
+    @staticmethod
+    def rescore_topk(
+        engine: "CandidateEngine",
+        worker: "Worker",
+        positions: Sequence[int],
+        k: int,
+        mode: str,
+        completed: Optional[Sequence[bool]],
+        need: Optional[Sequence[float]],
+    ) -> List[int]:
+        """Scalar-score ``positions`` (in the given order) through the heap.
+
+        Shared with the numpy backend's rescoring pass: it feeds its
+        preselected superset through this exact loop, which is what makes
+        the two backends' pop orders identical.
+        """
+        if mode not in ("acc_star", "gain", "need"):
+            raise ValueError(f"unknown topk mode {mode!r}")
+        if mode in ("gain", "need") and need is None:
+            raise ValueError(f"topk mode {mode!r} requires a need array")
+        heap: TopKHeap = TopKHeap(k)
+        acc_star = engine.scalar_acc_star
+        for p in positions:
+            if completed is not None and completed[p]:
+                continue
+            if mode == "acc_star":
+                score = acc_star(worker, p)
+            elif mode == "gain":
+                score = min(acc_star(worker, p), float(need[p]))
+            else:
+                score = float(need[p])
+            heap.push(score, p)
+        return [p for _, p in heap.pop_all()]

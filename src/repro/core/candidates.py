@@ -7,11 +7,18 @@ accuracy function this is equivalent to a distance cut-off around ``d_max``,
 which is also how the evaluation section talks about "nearby" tasks for the
 ``Base-off`` and ``Random`` baselines.
 
-The :class:`CandidateFinder` centralises this eligibility rule.  For the
-sigmoid model it converts the accuracy threshold into an eligibility radius
-and answers queries through a :class:`~repro.geo.grid_index.GridIndex`, which
-keeps the algorithms near-linear in practice; for arbitrary accuracy models
-it falls back to scanning all tasks.
+The :class:`CandidateFinder` centralises this eligibility rule.  It is a
+thin facade over the struct-of-arrays
+:class:`~repro.core.candidate_engine.engine.CandidateEngine`: tasks are
+snapshotted into flat coordinate arrays (CSR-grid-packed under the sigmoid
+model), and queries run through a pluggable backend — scalar loops or
+vectorized numpy passes — selected via the ``backend`` argument, the
+``candidates=`` solver-spec parameter, or the ``REPRO_CANDIDATES_BACKEND``
+environment variable.  All backends return identical candidates in
+identical order, so the choice is purely a speed knob; see
+``docs/candidates.md``.  (The pre-engine object-level scan survives as
+:class:`~repro.core.candidates_legacy.LegacyCandidateFinder`, the
+differential-test oracle.)
 """
 
 from __future__ import annotations
@@ -24,17 +31,13 @@ from typing import (
     Iterator,
     List,
     Optional,
-    Sequence,
     Tuple,
 )
 
-from repro.core.accuracy import AccuracyModel, SigmoidDistanceAccuracy
+from repro.core.accuracy import AccuracyModel
 from repro.core.instance import LTCInstance
-from repro.core.quality_threshold import MIN_WORKER_ACCURACY
 from repro.core.task import Task
 from repro.core.worker import Worker
-from repro.geo.bbox import BoundingBox
-from repro.geo.grid_index import GridIndex
 
 
 def sigmoid_eligibility_radius(
@@ -44,7 +47,9 @@ def sigmoid_eligibility_radius(
 
     Solves ``p / (1 + exp(d - d_max)) >= min_accuracy`` for ``d``.  Returns a
     negative number when the worker can never reach the threshold (i.e. no
-    task is eligible).
+    task is eligible) and ``math.inf`` when every distance qualifies
+    (``min_accuracy <= 0``); spatial indexes clamp the infinite case to
+    their extent.
     """
     if min_accuracy <= 0:
         return math.inf
@@ -65,8 +70,12 @@ class CandidateFinder:
         Minimum predicted accuracy for a pair to be assignable.  Defaults to
         the instance's ``min_assignable_accuracy``.
     use_spatial_index:
-        Build a grid index when the accuracy model is the sigmoid model.
+        Build the CSR grid when the accuracy model is the sigmoid model.
         Disable to force the exhaustive scan (useful in tests).
+    backend:
+        Candidate-engine backend: a name (``"python"``, ``"numpy"``,
+        ``"auto"``), a backend instance, or ``None`` to defer to the
+        ``REPRO_CANDIDATES_BACKEND`` environment variable / auto-detection.
     """
 
     def __init__(
@@ -74,71 +83,50 @@ class CandidateFinder:
         instance: LTCInstance,
         min_accuracy: Optional[float] = None,
         use_spatial_index: bool = True,
+        backend=None,
     ) -> None:
-        self._instance = instance
-        self._min_accuracy = (
-            instance.min_assignable_accuracy if min_accuracy is None else min_accuracy
-        )
-        self._model: AccuracyModel = instance.accuracy_model
-        self._grid: Optional[GridIndex[int]] = None
-        self._tasks_by_id: Dict[int, Task] = {
-            task.task_id: task for task in instance.tasks
-        }
-        if use_spatial_index and isinstance(self._model, SigmoidDistanceAccuracy):
-            self._grid = self._build_grid(instance.tasks, self._model.d_max)
+        from repro.core.candidate_engine import CandidateEngine
 
-    @staticmethod
-    def _build_grid(tasks: Sequence[Task], d_max: float) -> GridIndex[int]:
-        bounds = BoundingBox.from_points(task.location for task in tasks)
-        # Give the border tasks a margin of one eligibility radius so queries
-        # from workers just outside the task extent still land in valid cells.
-        bounds = bounds.expanded(max(d_max, 1.0))
-        cell = max(d_max, 1.0)
-        grid: GridIndex[int] = GridIndex(bounds, cell)
-        for task in tasks:
-            grid.insert(task.task_id, task.location)
-        return grid
+        self._model: AccuracyModel = instance.accuracy_model
+        self._engine = CandidateEngine(
+            instance,
+            min_accuracy=min_accuracy,
+            use_spatial_index=use_spatial_index,
+            backend=backend,
+        )
 
     @property
     def min_accuracy(self) -> float:
         """The eligibility threshold on predicted accuracy."""
-        return self._min_accuracy
+        return self._engine.min_accuracy
+
+    @property
+    def engine(self):
+        """The underlying :class:`~repro.core.candidate_engine.engine.CandidateEngine`.
+
+        Solvers that need the bulk operations (``topk``, per-position state
+        containers) reach through this instead of re-snapshotting the
+        instance.
+        """
+        return self._engine
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the candidate backend answering this finder's queries."""
+        return self._engine.backend.name
 
     def is_eligible(self, worker: Worker, task: Task) -> bool:
         """Whether ``worker`` may be assigned ``task``."""
-        return self._model.accuracy(worker, task) >= self._min_accuracy - 1e-12
-
-    def _eligible_pool(self, worker: Worker, ordered: bool) -> Sequence[Task]:
-        """Tasks within the worker's eligibility radius, before the final
-        per-pair accuracy check (empty when no task can ever qualify).
-
-        ``ordered`` sorts the grid hits by task id (the contract of
-        :meth:`candidates`); the unordered form skips the sort for
-        short-circuiting callers.  Without a grid the pool is simply every
-        task, in instance order either way.
-        """
-        if self._grid is not None and isinstance(self._model, SigmoidDistanceAccuracy):
-            radius = sigmoid_eligibility_radius(
-                worker.accuracy, self._model.d_max, self._min_accuracy
-            )
-            if radius < 0:
-                return []
-            nearby_ids = self._grid.query_radius(worker.location, radius)
-            if ordered:
-                nearby_ids = sorted(nearby_ids)
-            return [self._tasks_by_id[task_id] for task_id in nearby_ids]
-        return self._instance.tasks
+        return self._model.accuracy(worker, task) >= self.min_accuracy - 1e-12
 
     def iter_candidates(
         self, worker: Worker, allowed_ids: Optional[AbstractSet[int]] = None
     ) -> Iterator[Task]:
-        """Lazily yield the worker's assignable tasks in ascending-id order.
+        """Yield the worker's assignable tasks in ascending-id order.
 
         ``allowed_ids`` optionally restricts the yield to a task-id subset
-        (e.g. the uncompleted tasks of a batch) *before* the per-pair
-        accuracy check, so callers pay nothing for tasks they would filter
-        out anyway.  This is the streaming form used to feed the flow
-        kernel's arc arena without building per-worker lists.
+        (e.g. the uncompleted tasks of a batch) so callers pay nothing for
+        tasks they would filter out anyway.
 
         The two "no restriction set" spellings mean opposite things and are
         deliberately *not* interchangeable: ``allowed_ids=None`` means "no
@@ -149,20 +137,9 @@ class CandidateFinder:
         "unrestricted".
         """
         if allowed_ids is not None and not allowed_ids:
-            # Explicit empty restriction: nothing can qualify.  Returning
-            # up front (rather than scanning the pool and filtering every
-            # task out) makes the semantics visible and the drained-batch
-            # case free.
+            # Explicit empty restriction: nothing can qualify.
             return
-        pool = self._eligible_pool(worker, ordered=True)
-        if allowed_ids is None:
-            for task in pool:
-                if self.is_eligible(worker, task):
-                    yield task
-        else:
-            for task in pool:
-                if task.task_id in allowed_ids and self.is_eligible(worker, task):
-                    yield task
+        yield from self._engine.eligible_tasks(worker, allowed_ids)
 
     def eligible_pairs(
         self,
@@ -173,40 +150,36 @@ class CandidateFinder:
 
         Pairs stream grouped by worker (in the given worker order) with
         tasks ascending by id inside each group — exactly the stable arc
-        order the MCF-LTC reduction appends to the kernel arena.
+        order the MCF-LTC reduction appends to the kernel arena.  The
+        restriction set is converted to a position mask once for the whole
+        batch, so vectorized backends filter it in-array.
 
         ``allowed_ids`` follows :meth:`iter_candidates` semantics:
         ``None`` leaves the task set unrestricted, while an empty set means
         "nothing is allowed" and yields no pairs for any worker.
         """
-        if allowed_ids is not None and not allowed_ids:
-            return
-        for worker in workers:
-            for task in self.iter_candidates(worker, allowed_ids):
-                yield worker, task
+        return self._engine.eligible_pairs(workers, allowed_ids)
 
     def candidates(self, worker: Worker) -> List[Task]:
         """All tasks the worker may be assigned, in ascending task-id order."""
-        return list(self.iter_candidates(worker))
+        return self._engine.eligible_tasks(worker)
 
     def has_candidates(self, worker: Worker) -> bool:
         """Whether at least one task is assignable to the worker.
 
-        Short-circuits on the first eligible task and skips the id sort, so
-        it is the cheap eligibility test for hot paths (the service layer's
-        routing decision) where the full candidate list is not needed.
+        Short-circuits (scalar backend) or answers in one array pass
+        (numpy backend) without building the candidate list — the cheap
+        eligibility test for hot paths like the service layer's routing
+        decision.
         """
-        pool = self._eligible_pool(worker, ordered=False)
-        return any(self.is_eligible(worker, task) for task in pool)
+        return self._engine.has_candidates(worker)
 
     def candidate_count_per_task(self) -> Dict[int, int]:
         """For every task, the number of workers eligible to perform it.
 
         Used by the ``Base-off`` baseline, which prioritises tasks with few
-        remaining nearby workers, and by feasibility diagnostics.
+        remaining nearby workers, and by feasibility diagnostics.  Counts
+        come from the unordered per-worker pool — no candidate list is
+        materialised or sorted per worker.
         """
-        counts = {task.task_id: 0 for task in self._instance.tasks}
-        for worker in self._instance.workers:
-            for task in self.candidates(worker):
-                counts[task.task_id] += 1
-        return counts
+        return self._engine.candidate_counts()

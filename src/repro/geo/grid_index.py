@@ -94,11 +94,28 @@ class GridIndex(Generic[ItemId]):
         return iter(self._locations.items())
 
     def query_radius(self, center: Point, radius: float) -> List[ItemId]:
-        """All items within Euclidean distance ``radius`` of ``center``."""
+        """All items within Euclidean distance ``radius`` of ``center``.
+
+        An infinite radius is valid and matches every stored item: the cell
+        scan is clamped to the grid extent (``int(inf // cell_size)`` would
+        otherwise overflow) while the distance test stays ``d**2 <= inf``,
+        which every point passes.  Finite radii larger than the extent are
+        already clamped by :meth:`_cell_of`.
+        """
+        if math.isnan(radius):
+            raise ValueError("radius must not be NaN")
         if radius < 0:
             raise ValueError("radius must be non-negative")
-        col_min, row_min = self._cell_of(Point(center.x - radius, center.y - radius))
-        col_max, row_max = self._cell_of(Point(center.x + radius, center.y + radius))
+        if math.isinf(radius):
+            col_min, row_min = 0, 0
+            col_max, row_max = self._cols - 1, self._rows - 1
+        else:
+            col_min, row_min = self._cell_of(
+                Point(center.x - radius, center.y - radius)
+            )
+            col_max, row_max = self._cell_of(
+                Point(center.x + radius, center.y + radius)
+            )
         result: List[ItemId] = []
         r2 = radius * radius
         for col in range(col_min, col_max + 1):

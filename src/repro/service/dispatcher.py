@@ -35,6 +35,7 @@ from repro.algorithms.base import Solver, SolveResult
 from repro.algorithms.registry import build_solver
 from repro.algorithms.spec import SolverSpecLike
 from repro.core.arrangement import Assignment
+from repro.core.candidate_engine import validate_candidate_backend_name
 from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
 from repro.core.session import Session, SessionSnapshot
@@ -110,15 +111,25 @@ class LTCDispatcher:
         dispatch demo and tests to verify per-session latencies match
         single-session runs.  Off by default to keep memory flat under
         heavy traffic.
+    candidates:
+        Candidate-engine backend used for the per-session eligibility
+        routing test (``"python"``, ``"numpy"``, ``"auto"``, or ``None``
+        to defer to ``REPRO_CANDIDATES_BACKEND`` / auto-detection).  The
+        routing decision is a bulk ``has_candidates`` query per arrival
+        per open session, so the vectorized backend is what keeps the
+        dispatch hot path flat under heavy traffic.
     """
 
     def __init__(
         self,
         default_solver: SolverSpecLike = "AAM",
         keep_streams: bool = False,
+        candidates: Optional[str] = None,
     ) -> None:
+        validate_candidate_backend_name(candidates)
         self._default_solver = default_solver
         self._keep_streams = keep_streams
+        self._candidates_backend = candidates
         self._sessions: Dict[str, _ManagedSession] = {}
         self._metrics = DispatcherMetrics()
         self._auto_id = 0
@@ -176,7 +187,7 @@ class LTCDispatcher:
             session_id=session_id,
             instance=instance,
             session=solver_obj.open_session(instance),
-            candidates=CandidateFinder(instance),
+            candidates=CandidateFinder(instance, backend=self._candidates_backend),
             solver=solver_obj,
             routed_stream=[] if self._keep_streams else None,
         )

@@ -96,6 +96,16 @@ class TestCandidateFinder:
         counts = finder.candidate_count_per_task()
         assert counts == {0: 1, 1: 0}
 
+    def test_zero_min_accuracy_matches_every_task(self):
+        # Regression: min_accuracy <= 0 gives an infinite eligibility
+        # radius, which used to overflow the grid's cell arithmetic
+        # (int(inf // cell_size)).  The scan must now cover the whole grid.
+        instance = spatial_instance([0.0, 60.0, 900.0])
+        finder = CandidateFinder(instance, min_accuracy=0.0)
+        worker = instance.worker(1)
+        assert [t.task_id for t in finder.candidates(worker)] == [0, 1, 2]
+        assert finder.has_candidates(worker)
+
 
 class TestAllowedIdsSemantics:
     """``allowed_ids=None`` means unrestricted; an empty set means "nothing".
