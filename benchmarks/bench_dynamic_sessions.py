@@ -1,0 +1,506 @@
+"""Benchmark: long-lived dynamic sessions vs rebuild-per-submit.
+
+The paper's online setting is a stream — tasks keep being posted while
+workers trickle in — and before the dynamic snapshot layer the candidate
+engine had to be **rebuilt from scratch on every task submission** (full
+re-sort, CSR re-pack, per-solver state re-derivation).  This benchmark
+pins the win of the incremental path on exactly that regime, plus a
+steady-state control:
+
+* **dynamic** — one long LAF (and AAM) session: an initial task set,
+  a long worker stream, and a batch of new tasks submitted every
+  ``--submit-every`` arrivals through ``Session.submit_tasks``.  Two
+  drivers consume the identical event sequence:
+
+  - ``incremental`` — the shipped path: appends land in the engine's
+    spill arrays, completions tombstone, the CSR grid rebuilds only at
+    the spill threshold;
+  - ``rebuild`` — a driver that mimics the pre-dynamic behaviour by
+    rebuilding the solver's ``CandidateFinder`` from scratch at every
+    submission (and re-applying the retired set to the fresh snapshot).
+
+  Both must produce **byte-identical arrangements**; the speedup is the
+  honest price of rebuild-per-submit.
+
+* **steady_state** — the same solvers with every task posted up front
+  and no mid-stream submissions, against the retained pre-engine legacy
+  observe loops.  This guards the other side of the tentpole: the
+  tombstone/spill machinery must not tax the static query path (the
+  speedup-vs-legacy here should match ``BENCH_candidates.json``).
+
+Timings are medians over interleaved repeats; the JSON report lands at
+``BENCH_dynamic_sessions.json`` in the repo root by default.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_sessions.py
+    PYTHONPATH=src python benchmarks/bench_dynamic_sessions.py \
+        --tasks 120 --workers 2500 --submit-batch 20 --submit-every 80 \
+        --repeats 2 --output benchmarks/results/dynamic_sessions_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.algorithms.aam import AAMSolver
+from repro.algorithms.laf import LAFSolver
+from repro.core.candidate_engine import available_candidate_backends
+from repro.core.candidates import CandidateFinder
+from repro.core.candidates_legacy import (
+    LegacyCandidateFinder,
+    legacy_aam_observe,
+    legacy_laf_observe,
+)
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_dynamic_sessions.json"
+
+
+def build_workload(args) -> tuple:
+    """The long stream: a base instance plus timed task-batch events.
+
+    Returns ``(base_instance, events)`` where ``events`` interleaves
+    ``("worker", w)`` arrivals with ``("tasks", [...])`` submissions every
+    ``submit_every`` arrivals, all ids increasing in posting order (the
+    common production shape, which keeps the engine's position order equal
+    to id order).
+    """
+    rng = random.Random(args.seed)
+    box = args.box
+    if box is None:
+        radius = 29.0
+        box = math.sqrt(args.tasks * math.pi * radius * radius / args.degree)
+
+    def new_task(task_id):
+        return Task(task_id=task_id,
+                    location=Point(rng.uniform(0, box), rng.uniform(0, box)))
+
+    base_tasks = [new_task(i) for i in range(args.tasks)]
+    workers = [
+        Worker(
+            index=index,
+            location=Point(rng.uniform(-0.05 * box, 1.05 * box),
+                           rng.uniform(-0.05 * box, 1.05 * box)),
+            accuracy=rng.uniform(0.72, 0.98),
+            capacity=args.capacity,
+        )
+        for index in range(1, args.workers + 1)
+    ]
+    base = LTCInstance(tasks=base_tasks, workers=workers,
+                       error_rate=args.error_rate, name="bench_dynamic")
+    events = []
+    next_id = args.tasks
+    submissions = 0
+    for count, worker in enumerate(workers, start=1):
+        events.append(("worker", worker))
+        if count % args.submit_every == 0:
+            batch = [new_task(next_id + i) for i in range(args.submit_batch)]
+            next_id += args.submit_batch
+            events.append(("tasks", batch))
+            submissions += 1
+    return base, events, box, submissions
+
+
+def clone_instance(base: LTCInstance) -> LTCInstance:
+    """Dynamic sessions mutate their instance in place; each run gets a copy."""
+    return LTCInstance(
+        tasks=list(base.tasks),
+        workers=list(base.workers),
+        error_rate=base.error_rate,
+        accuracy_model=base.accuracy_model,
+        name=base.name,
+        min_assignable_accuracy=base.min_assignable_accuracy,
+    )
+
+
+class _RebuildPerSubmitMixin:
+    """Mimics the pre-dynamic engine: full snapshot rebuild per submission.
+
+    ``add_tasks`` extends instance and arrangement exactly like the
+    shipped path, then throws the candidate snapshot away, rebuilds it
+    from scratch over the enlarged task set, and re-applies the retired
+    (completed) set to the fresh snapshot — which is precisely the work
+    the incremental spill/tombstone layer avoids.  Decisions (and so
+    arrangements) are identical to the incremental driver by the same
+    argument that makes the dynamic test-suite oracle exact.
+    """
+
+    def add_tasks(self, tasks):
+        tasks = list(tasks)
+        self._instance.add_tasks(tasks)
+        self._arrangement.add_tasks(tasks)
+        retired = [
+            task.task_id
+            for task in self._instance.tasks
+            if self._arrangement.is_task_complete(task.task_id)
+        ]
+        self._candidates = CandidateFinder(
+            self._instance,
+            use_spatial_index=self._use_spatial_index,
+            backend=self._candidates_backend,
+        )
+        self._candidates.retire_tasks(retired)
+        self._after_rebuild()
+
+    def _after_rebuild(self):
+        pass
+
+
+class RebuildLAF(_RebuildPerSubmitMixin, LAFSolver):
+    pass
+
+
+class RebuildAAM(_RebuildPerSubmitMixin, AAMSolver):
+    def _after_rebuild(self):
+        # Every piece of position-indexed / derived state must be
+        # re-derived over the fresh snapshot — the rest of the rebuild
+        # tax the incremental path avoids.  The running sum is reseeded
+        # with the naive left-to-right order, exactly like ``start()``;
+        # the knife-edge band keeps the LGF/LRF switch identical.
+        import heapq
+
+        arrangement = self._arrangement
+        engine = self._candidates.engine
+        delta = arrangement.delta
+        need = engine.float_array(delta)
+        heap = []
+        total = 0.0
+        count = 0
+        for task in self._instance.tasks:
+            task_id = task.task_id
+            if arrangement.is_task_complete(task_id):
+                continue
+            position = engine.position_of[task_id]
+            value = delta - arrangement.accumulated_of(task_id)
+            need[position] = value
+            heap.append((-value, position))
+            total += value
+            count += 1
+        heapq.heapify(heap)
+        self._need = need
+        self._need_heap = heap
+        self._uncompleted_count = count
+        self._remaining_sum = total
+        self._sum_compensation = 0.0
+        self._abs_update_total = total
+
+
+def drive_session(solver, base: LTCInstance, events) -> tuple:
+    """Feed the event stream through a session; stop once fully complete
+    with no submissions left (the long-lived serving loop).  Completion
+    is tracked incrementally from the returned assignments — an O(T)
+    ``is_complete`` poll per arrival would dominate the candidate path
+    being measured, identically for every driver."""
+    session = solver.open_session(clone_instance(base))
+    total_batches = sum(1 for kind, _ in events if kind == "tasks")
+    arrivals = 0
+    consumed_batches = 0
+    open_tasks = base.num_tasks
+    finished = set()
+    arrangement = None
+    for kind, payload in events:
+        if kind == "tasks":
+            session.submit_tasks(payload)
+            consumed_batches += 1
+            open_tasks += len(payload)
+        else:
+            if open_tasks == 0 and consumed_batches == total_batches:
+                break
+            assignments = session.on_worker(payload)
+            arrivals += 1
+            if arrangement is None:
+                arrangement = session.arrangement
+            for assignment in assignments:
+                task_id = assignment.task_id
+                if task_id not in finished and arrangement.is_task_complete(
+                    task_id
+                ):
+                    finished.add(task_id)
+                    open_tasks -= 1
+    result = session.result()
+    return result.arrangement.assignments, arrivals, result.completed
+
+
+def bench_dynamic(base, events, repeats, backends) -> dict:
+    section = {}
+    cases = {"LAF": (LAFSolver, RebuildLAF), "AAM": (AAMSolver, RebuildAAM)}
+    for name, (solver_cls, rebuild_cls) in cases.items():
+        runners = {}
+        for backend in backends:
+            runners[f"incremental_{backend}"] = (
+                lambda cls=solver_cls, b=backend: drive_session(
+                    cls(candidates=b), base, events
+                )
+            )
+            runners[f"rebuild_{backend}"] = (
+                lambda cls=rebuild_cls, b=backend: drive_session(
+                    cls(candidates=b), base, events
+                )
+            )
+        times = {impl: [] for impl in runners}
+        outputs = {}
+        for _ in range(repeats):
+            for impl, runner in runners.items():
+                start = time.perf_counter()
+                outputs[impl] = runner()
+                times[impl].append(time.perf_counter() - start)
+        baseline_key = f"incremental_{backends[0]}"
+        base_assignments, base_arrivals, base_completed = outputs[baseline_key]
+        for impl, (assignments, arrivals, _) in outputs.items():
+            if assignments != base_assignments or arrivals != base_arrivals:
+                raise AssertionError(
+                    f"{name}/{impl} diverged from {baseline_key} "
+                    f"({len(assignments)} vs {len(base_assignments)} assignments)"
+                )
+        entry = {
+            "arrivals": base_arrivals,
+            "assignments": len(base_assignments),
+            "completed": base_completed,
+        }
+        for impl in runners:
+            entry[f"{impl}_ms_median"] = round(
+                statistics.median(times[impl]) * 1000, 3
+            )
+        for backend in backends:
+            rebuild_s = statistics.median(times[f"rebuild_{backend}"])
+            incremental_s = statistics.median(times[f"incremental_{backend}"])
+            entry[f"{backend}_incremental_speedup_vs_rebuild"] = (
+                round(rebuild_s / incremental_s, 2)
+                if incremental_s > 0 else float("inf")
+            )
+        section[name] = entry
+    return section
+
+
+def drive_legacy_static(instance: LTCInstance, observe) -> tuple:
+    """The retained pre-engine observe loop over a static instance."""
+    arrangement = instance.new_arrangement()
+    finder = LegacyCandidateFinder(instance)
+    arrivals = 0
+    open_tasks = instance.num_tasks
+    finished = set()
+    for worker in instance.workers:
+        if open_tasks == 0:
+            break
+        assigned_ids = observe(instance, arrangement, finder, worker)
+        arrivals += 1
+        for task_id in assigned_ids:
+            if task_id not in finished and arrangement.is_task_complete(task_id):
+                finished.add(task_id)
+                open_tasks -= 1
+    return arrangement.assignments, arrivals
+
+
+def drive_engine_static(instance: LTCInstance, solver_cls, backend) -> tuple:
+    solver = solver_cls(candidates=backend)
+    solver.start(clone_instance(instance))
+    arrangement = solver.arrangement
+    arrivals = 0
+    open_tasks = instance.num_tasks
+    finished = set()
+    for worker in instance.workers:
+        if open_tasks == 0:
+            break
+        assignments = solver.observe(worker)
+        arrivals += 1
+        for assignment in assignments:
+            task_id = assignment.task_id
+            if task_id not in finished and arrangement.is_task_complete(task_id):
+                finished.add(task_id)
+                open_tasks -= 1
+    return arrangement.assignments, arrivals
+
+
+def bench_steady_state(base: LTCInstance, events, repeats, backends) -> dict:
+    """Static control: all tasks up front, no submissions, vs legacy loops.
+
+    Uses the *full* task set (base plus every batch the dynamic section
+    submits), so the workload matches the dynamic section's end state.
+    """
+    all_tasks = list(base.tasks)
+    for kind, payload in events:
+        if kind == "tasks":
+            all_tasks.extend(payload)
+    static = LTCInstance(
+        tasks=all_tasks, workers=list(base.workers),
+        error_rate=base.error_rate, accuracy_model=base.accuracy_model,
+        name=base.name, min_assignable_accuracy=base.min_assignable_accuracy,
+    )
+    section = {}
+    cases = {
+        "LAF": (legacy_laf_observe, LAFSolver),
+        "AAM": (legacy_aam_observe, AAMSolver),
+    }
+    for name, (legacy_observe, solver_cls) in cases.items():
+        runners = {
+            "legacy": lambda lo=legacy_observe: drive_legacy_static(static, lo)
+        }
+        for backend in backends:
+            runners[backend] = (
+                lambda cls=solver_cls, b=backend: drive_engine_static(
+                    static, cls, b
+                )
+            )
+        times = {impl: [] for impl in runners}
+        outputs = {}
+        for _ in range(repeats):
+            for impl, runner in runners.items():
+                start = time.perf_counter()
+                outputs[impl] = runner()
+                times[impl].append(time.perf_counter() - start)
+        base_assignments, base_arrivals = outputs["legacy"]
+        for impl, (assignments, arrivals) in outputs.items():
+            if assignments != base_assignments or arrivals != base_arrivals:
+                raise AssertionError(f"steady_state {name}/{impl} diverged")
+        entry = {"arrivals": base_arrivals,
+                 "assignments": len(base_assignments)}
+        for impl in runners:
+            median_s = statistics.median(times[impl])
+            entry[f"{impl}_ms_median"] = round(median_s * 1000, 3)
+            entry[f"{impl}_us_per_arrival"] = round(
+                median_s * 1e6 / max(1, base_arrivals), 2
+            )
+        legacy_s = statistics.median(times["legacy"])
+        for backend in backends:
+            backend_s = statistics.median(times[backend])
+            entry[f"{backend}_speedup_vs_legacy"] = (
+                round(legacy_s / backend_s, 2) if backend_s > 0 else float("inf")
+            )
+        section[name] = entry
+    return section
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tasks", type=int, default=2000,
+                        help="initial task set size")
+    parser.add_argument("--workers", type=int, default=6000,
+                        help="length of the merged arrival stream")
+    parser.add_argument("--submit-batch", type=int, default=25,
+                        help="tasks posted per mid-stream submission")
+    parser.add_argument("--submit-every", type=int, default=40,
+                        help="arrivals between submissions (small frequent "
+                             "batches are the production stream shape — and "
+                             "the regime where rebuild-per-submit hurts)")
+    parser.add_argument("--box", type=float, default=None,
+                        help="side of the square region (default: sized for "
+                             "a worker degree around --degree)")
+    parser.add_argument("--degree", type=float, default=60.0,
+                        help="target mean candidates per worker when --box "
+                             "is not given")
+    parser.add_argument("--capacity", type=int, default=6)
+    parser.add_argument("--error-rate", type=float, default=0.14)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=20180416)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--backends", nargs="+", default=None,
+                        help="candidate backends to time (default: all "
+                             "available)")
+    args = parser.parse_args(argv)
+
+    backends = args.backends
+    if backends is None:
+        backends = [
+            b for b in ("python", "numpy") if b in available_candidate_backends()
+        ]
+
+    base, events, box, submissions = build_workload(args)
+    total_tasks = args.tasks + submissions * args.submit_batch
+    print(f"workload: {args.tasks} initial + {submissions} x "
+          f"{args.submit_batch} submitted tasks (total {total_tasks}), "
+          f"{args.workers} arrivals, box={box:.1f}")
+
+    dynamic = bench_dynamic(base, events, args.repeats, backends)
+    for name, entry in dynamic.items():
+        impls = [f"{kind}_{b}" for b in backends
+                 for kind in ("incremental", "rebuild")]
+        timings = "  ".join(
+            f"{impl}={entry[f'{impl}_ms_median']:>9.2f}ms" for impl in impls
+        )
+        speedups = "  ".join(
+            f"{b}={entry[f'{b}_incremental_speedup_vs_rebuild']:>5.2f}x"
+            for b in backends
+        )
+        print(f"dynamic {name:>4}  arrivals={entry['arrivals']:>6}  {timings}  "
+              f"incremental vs rebuild: {speedups}")
+
+    steady = bench_steady_state(base, events, args.repeats, backends)
+    for name, entry in steady.items():
+        timings = "  ".join(
+            f"{impl}={entry[f'{impl}_us_per_arrival']:>8.1f}us"
+            for impl in ["legacy", *backends]
+        )
+        speedups = "  ".join(
+            f"{b}={entry[f'{b}_speedup_vs_legacy']:>5.2f}x" for b in backends
+        )
+        print(f"steady  {name:>4}  per-arrival  {timings}  vs legacy: "
+              f"{speedups}")
+
+    report = {
+        "benchmark": "dynamic_sessions",
+        "description": (
+            "Long-lived sessions over an interleaved task/worker stream: "
+            "the incremental candidate snapshot (spill appends + lazy "
+            "tombstones + threshold grid rebuilds) vs a driver that "
+            "rebuilds the snapshot from scratch at every mid-stream task "
+            "submission (the pre-dynamic behaviour).  'steady_state' is "
+            "the static control: the same solvers with all tasks posted "
+            "up front, vs the retained pre-engine legacy observe loops. "
+            "Arrangements are asserted byte-identical in both sections."
+        ),
+        "config": {
+            "initial_tasks": args.tasks,
+            "submitted_batches": submissions,
+            "submit_batch": args.submit_batch,
+            "submit_every": args.submit_every,
+            "total_tasks": total_tasks,
+            "workers": args.workers,
+            "box": round(box, 2),
+            "capacity": args.capacity,
+            "error_rate": args.error_rate,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "backends": backends,
+            "python": platform.python_version(),
+        },
+        "dynamic": dynamic,
+        "steady_state": steady,
+        "headline_speedups": {
+            backend: {
+                "LAF_incremental_vs_rebuild": dynamic["LAF"][
+                    f"{backend}_incremental_speedup_vs_rebuild"
+                ],
+                "AAM_incremental_vs_rebuild": dynamic["AAM"][
+                    f"{backend}_incremental_speedup_vs_rebuild"
+                ],
+                "LAF_steady_vs_legacy": steady["LAF"][
+                    f"{backend}_speedup_vs_legacy"
+                ],
+                "AAM_steady_vs_legacy": steady["AAM"][
+                    f"{backend}_speedup_vs_legacy"
+                ],
+            }
+            for backend in backends
+        },
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,12 @@ Remaining First (LRF)**, scoring tasks by ``delta - S[t]``.
 Both quantities are maintained *incrementally* as assignments land — a
 compensated running sum plus a lazy-deletion max-heap of per-task needs —
 instead of rebuilding the remaining list over all tasks on every arrival
-(the pre-engine O(W*T) scan).  ``maxRemain`` is exact (same float set as
+(the pre-engine O(W*T) scan).  Completed tasks are excluded by retiring
+them through the :class:`~repro.core.candidates.CandidateFinder` facade
+(the engine's tombstone mask) instead of a per-solver completed-flag
+container, and AAM is **dynamic**: :meth:`AAMSolver.add_tasks` posts
+tasks mid-stream, folding their needs into the running statistics and
+appending them to the live snapshot.  ``maxRemain`` is exact (same float set as
 the naive scan); the running sum can differ from the naive left-to-right
 sum by accumulated rounding ulps, so whenever ``avg`` lands inside a
 small band around ``maxRemain`` — the only place an ulp could flip the
@@ -38,6 +43,7 @@ from repro.core.arrangement import Arrangement, Assignment
 from repro.core.candidate_engine import validate_candidate_backend_name
 from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
+from repro.core.task import Task
 from repro.core.worker import Worker
 
 
@@ -57,6 +63,7 @@ class AAMSolver(OnlineSolver):
     """
 
     name = "AAM"
+    supports_dynamic_tasks = True
 
     def __init__(
         self, use_spatial_index: bool = True, candidates: Optional[str] = None
@@ -67,7 +74,6 @@ class AAMSolver(OnlineSolver):
         self._instance: Optional[LTCInstance] = None
         self._arrangement: Optional[Arrangement] = None
         self._candidates: Optional[CandidateFinder] = None
-        self._completed: Optional[Sequence[bool]] = None
         self._need: Optional[Sequence[float]] = None
         self._uncompleted_count = 0
         self._remaining_sum = 0.0
@@ -89,7 +95,6 @@ class AAMSolver(OnlineSolver):
         )
         engine = self._candidates.engine
         delta = self._arrangement.delta
-        self._completed = engine.bool_array()
         self._need = engine.float_array(delta)
         self._uncompleted_count = instance.num_tasks
         # Seed the running sum with the same left-to-right addition order
@@ -132,13 +137,19 @@ class AAMSolver(OnlineSolver):
         self._remaining_sum = total
 
     def _note_assignment(self, task_id: int) -> None:
-        """Fold one just-landed assignment into the incremental stats."""
+        """Fold one just-landed assignment into the incremental stats.
+
+        Completion retires the task through the candidate facade — the
+        engine's tombstone mask takes it out of every later query — and
+        removes its need from the running sum; an incomplete assignment
+        refreshes the need value and re-keys the lazy max-heap.
+        """
         arrangement = self._arrangement
-        engine = self._candidates.engine
-        position = engine.position_of[task_id]
+        candidates = self._candidates
+        position = candidates.engine.position_of[task_id]
         old_need = float(self._need[position])
         if arrangement.is_task_complete(task_id):
-            self._completed[position] = True
+            candidates.retire_tasks((task_id,))
             self._uncompleted_count -= 1
             self._add_to_sum(-old_need)
         else:
@@ -150,18 +161,44 @@ class AAMSolver(OnlineSolver):
     def _current_max_remaining(self) -> float:
         """Largest remaining need among uncompleted tasks (exact).
 
-        Pops heap entries that are stale — their task completed, or their
-        recorded need no longer matches the live array (a newer entry for
-        the same task sits deeper).  Amortised O(log) per assignment.
+        Pops heap entries that are stale — their task retired (i.e.
+        completed), or their recorded need no longer matches the live
+        array (a newer entry for the same task sits deeper).  Amortised
+        O(log) per assignment.
         """
         heap = self._need_heap
-        completed, need = self._completed, self._need
+        alive, need = self._candidates.engine.alive, self._need
         while heap:
             negated, position = heap[0]
-            if not completed[position] and float(need[position]) == -negated:
+            if alive[position] and float(need[position]) == -negated:
                 return -negated
             heapq.heappop(heap)
         raise RuntimeError("no uncompleted task remains")  # pragma: no cover
+
+    # ------------------------------------------------------- dynamic tasks
+
+    def add_tasks(self, tasks: Sequence[Task]) -> None:
+        """Post additional tasks mid-stream (the dynamic-arrival path).
+
+        Extends the instance/arrangement/snapshot in place and folds each
+        new task's full ``delta`` need into the incremental statistics
+        (running remaining sum, need max-heap, uncompleted count), so the
+        LGF/LRF switch sees the enlarged task set on the next arrival.
+        """
+        if self._instance is None or self._arrangement is None or self._candidates is None:
+            raise RuntimeError("start() must be called before add_tasks()")
+        tasks = list(tasks)
+        self._instance.add_tasks(tasks)
+        self._arrangement.add_tasks(tasks)
+        self._candidates.add_tasks(tasks)
+        engine = self._candidates.engine
+        delta = self._arrangement.delta
+        self._need = engine.grow_float_array(self._need, delta)
+        for task in tasks:
+            position = engine.position_of[task.task_id]
+            self._add_to_sum(delta)
+            heapq.heappush(self._need_heap, (-delta, position))
+        self._uncompleted_count += len(tasks)
 
     # ---------------------------------------------------------------- observe
 
@@ -208,7 +245,7 @@ class AAMSolver(OnlineSolver):
             worker,
             worker.capacity,
             "gain" if use_lgf else "need",
-            self._completed,
+            None,
             self._need,
         )
         assignments: List[Assignment] = []
@@ -240,7 +277,7 @@ class LGFOnlySolver(AAMSolver):
         self._lgf_rounds += 1
 
         picks = candidates.engine.topk(
-            worker, worker.capacity, "gain", self._completed, self._need
+            worker, worker.capacity, "gain", None, self._need
         )
         assignments = []
         for task in picks:
@@ -261,7 +298,7 @@ class LRFOnlySolver(AAMSolver):
         self._lrf_rounds += 1
 
         picks = candidates.engine.topk(
-            worker, worker.capacity, "need", self._completed, self._need
+            worker, worker.capacity, "need", None, self._need
         )
         assignments = []
         for task in picks:

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.core.arrangement import Arrangement, Assignment
 from repro.core.instance import LTCInstance
 from repro.core.stream import WorkerStream
+from repro.core.task import Task
 from repro.core.worker import Worker
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -124,10 +125,31 @@ class OnlineSolver(Solver):
     """A solver that commits assignments as each worker arrives.
 
     Subclasses implement :meth:`start` and :meth:`observe`; the base class
-    provides the stream-driving :meth:`solve`.
+    provides the stream-driving :meth:`solve`.  Solvers whose candidate
+    state rides the dynamic engine set :attr:`supports_dynamic_tasks` and
+    implement :meth:`add_tasks`, which makes
+    :meth:`~repro.core.session.Session.submit_tasks` legal after the
+    first arrival for their sessions.
     """
 
     is_online = True
+
+    #: Whether the solver accepts tasks posted after serving started.
+    #: Dynamic solvers implement :meth:`add_tasks`; the default refuses.
+    supports_dynamic_tasks: bool = False
+
+    def add_tasks(self, tasks: List[Task]) -> None:
+        """Post additional tasks mid-stream (dynamic solvers override).
+
+        Called by a live session's ``submit_tasks`` after the first
+        arrival.  An override must extend the instance, the arrangement
+        and the candidate snapshot in place so serving continues with the
+        enlarged open set; implementations append — positions and prior
+        assignments are never disturbed.
+        """
+        raise NotImplementedError(
+            f"solver {self.name!r} does not accept tasks after serving starts"
+        )
 
     @abc.abstractmethod
     def start(self, instance: LTCInstance) -> None:

@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.core.arrangement import Arrangement, Assignment
 from repro.core.candidate_engine import validate_candidate_backend_name
 from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
+from repro.core.task import Task
 from repro.core.worker import Worker
 
 
@@ -95,6 +96,7 @@ class RandomOnlineSolver(OnlineSolver):
     """
 
     name = "Random"
+    supports_dynamic_tasks = True
 
     def __init__(
         self,
@@ -128,6 +130,22 @@ class RandomOnlineSolver(OnlineSolver):
         if self._arrangement is None:
             raise RuntimeError("start() must be called before reading the arrangement")
         return self._arrangement
+
+    def add_tasks(self, tasks: Sequence[Task]) -> None:
+        """Post additional tasks mid-stream (the dynamic-arrival path).
+
+        Random keeps no per-task state beyond the arrangement, so the
+        extension is just the shared instance/arrangement/snapshot
+        appends; the enlarged nearby pool is drawn from on the next
+        arrival.  (Random never retires tasks — the paper's naive
+        baseline deliberately keeps drawing completed ones.)
+        """
+        if self._instance is None or self._arrangement is None or self._candidates is None:
+            raise RuntimeError("start() must be called before add_tasks()")
+        tasks = list(tasks)
+        self._instance.add_tasks(tasks)
+        self._arrangement.add_tasks(tasks)
+        self._candidates.add_tasks(tasks)
 
     def observe(self, worker: Worker) -> List[Assignment]:
         if self._instance is None or self._arrangement is None or self._candidates is None:

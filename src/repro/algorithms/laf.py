@@ -7,11 +7,18 @@ proves a competitive ratio of 7.967 under the assumption
 
 Per arrival the selection runs on the candidate engine's bulk
 ``topk_acc_star`` path: one radius gather plus one batched ``Acc*``
-evaluation over the candidate set, with completed tasks excluded through a
-per-position flag container maintained incrementally as assignments land.
-The arrangement is byte-identical to the pre-engine object-level loop
+evaluation over the candidate set.  Completed tasks are excluded by
+retiring them through the :class:`~repro.core.candidates.CandidateFinder`
+facade the moment they complete — the engine's tombstone mask filters
+them out of every later query, replacing the per-solver completed-flag
+container the pre-dynamic implementation threaded into ``topk``.  The
+arrangement is byte-identical to the pre-engine object-level loop
 (pinned by the differential suite against
 :func:`repro.core.candidates_legacy.legacy_laf_arrangement`).
+
+LAF is **dynamic**: tasks may keep being posted after serving starts
+(:meth:`LAFSolver.add_tasks`), landing in the engine's spill/append path
+instead of forcing a snapshot rebuild.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from repro.core.arrangement import Arrangement, Assignment
 from repro.core.candidate_engine import validate_candidate_backend_name
 from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
+from repro.core.task import Task
 from repro.core.worker import Worker
 
 
@@ -43,6 +51,7 @@ class LAFSolver(OnlineSolver):
     """
 
     name = "LAF"
+    supports_dynamic_tasks = True
 
     def __init__(
         self, use_spatial_index: bool = True, candidates: Optional[str] = None
@@ -53,7 +62,6 @@ class LAFSolver(OnlineSolver):
         self._instance: Optional[LTCInstance] = None
         self._arrangement: Optional[Arrangement] = None
         self._candidates: Optional[CandidateFinder] = None
-        self._completed: Optional[Sequence[bool]] = None
         self._workers_with_assignments = 0
 
     # --------------------------------------------------------------- protocol
@@ -66,7 +74,6 @@ class LAFSolver(OnlineSolver):
             use_spatial_index=self._use_spatial_index,
             backend=self._candidates_backend,
         )
-        self._completed = self._candidates.engine.bool_array()
         self._workers_with_assignments = 0
 
     @property
@@ -75,19 +82,33 @@ class LAFSolver(OnlineSolver):
             raise RuntimeError("start() must be called before reading the arrangement")
         return self._arrangement
 
+    def add_tasks(self, tasks: Sequence[Task]) -> None:
+        """Post additional tasks mid-stream (the dynamic-arrival path).
+
+        Extends the instance, the arrangement (zero accumulated quality)
+        and the candidate snapshot in place — no rebuild; the engine
+        appends the tasks at fresh stable positions.  Serving continues
+        with the enlarged open set on the very next arrival.
+        """
+        if self._instance is None or self._arrangement is None or self._candidates is None:
+            raise RuntimeError("start() must be called before add_tasks()")
+        tasks = list(tasks)
+        self._instance.add_tasks(tasks)
+        self._arrangement.add_tasks(tasks)
+        self._candidates.add_tasks(tasks)
+
     def observe(self, worker: Worker) -> List[Assignment]:
         """Assign the K largest-``Acc*`` uncompleted tasks to ``worker``."""
         if self._instance is None or self._arrangement is None or self._candidates is None:
             raise RuntimeError("start() must be called before observe()")
         arrangement = self._arrangement
-        engine = self._candidates.engine
-        completed = self._completed
+        candidates = self._candidates
 
         assignments: List[Assignment] = []
-        for task in engine.topk_acc_star(worker, worker.capacity, completed):
+        for task in candidates.engine.topk_acc_star(worker, worker.capacity):
             assignments.append(arrangement.assign(worker, task))
             if arrangement.is_task_complete(task.task_id):
-                completed[engine.position_of[task.task_id]] = True
+                candidates.retire_tasks((task.task_id,))
         if assignments:
             self._workers_with_assignments += 1
         return assignments

@@ -193,8 +193,7 @@ class MCFLTCSolver(OfflineSolver):
         task_sink_arcs: Sequence[Tuple[int, int]],
     ) -> int:
         """Run the MCF reduction for one batch and apply the resulting flow."""
-        uncompleted_ids = set(arrangement.uncompleted_tasks())
-        if not uncompleted_ids or not batch:
+        if not batch or arrangement.is_complete():
             return 0
 
         # Reuse the arena: drop the previous batch's worker nodes/arcs and
@@ -209,13 +208,16 @@ class MCFLTCSolver(OfflineSolver):
         # Append this batch's worker nodes and arcs (Fig. 2a), streaming the
         # eligible pairs straight into the arena.  ``eligible_pairs`` yields
         # grouped by worker with tasks ascending, so the arc order — and
-        # therefore the kernel's tie-breaking — is stable.
+        # therefore the kernel's tie-breaking — is stable.  Completed tasks
+        # were retired through the candidate facade as their completions
+        # landed, so the unrestricted stream is already the open set — no
+        # per-batch uncompleted-id mask is built.
         acc_star = instance.acc_star
         pair_arcs: List[Tuple[Worker, Task, int]] = []
         worker_nodes: List[int] = []
         current_worker = None
         worker_node = -1
-        for worker, task in candidates.eligible_pairs(batch, uncompleted_ids):
+        for worker, task in candidates.eligible_pairs(batch):
             if worker is not current_worker:
                 current_worker = worker
                 worker_node = arena.add_node()
@@ -239,11 +241,14 @@ class MCFLTCSolver(OfflineSolver):
             arena, _SOURCE, _SINK, potentials=potentials, backend=self.backend
         )
 
-        # Apply every unit of flow on a worker->task arc as an assignment.
+        # Apply every unit of flow on a worker->task arc as an assignment,
+        # retiring each task the moment its quality threshold is reached.
         arc_flow = arena.flow
         for worker, task, arc in pair_arcs:
             if arc_flow[arc] > 0:
                 arrangement.assign(worker, task)
+                if arrangement.is_task_complete(task.task_id):
+                    candidates.retire_tasks((task.task_id,))
         return result.flow_value
 
     def _greedy_fill(
@@ -257,6 +262,9 @@ class MCFLTCSolver(OfflineSolver):
 
         Each such worker receives its best (largest ``Acc*``) uncompleted
         tasks it does not already perform, up to its remaining capacity.
+        Completed tasks are already retired from the candidate snapshot,
+        so ``iter_candidates`` yields only the open set; tasks completing
+        during the fill are retired in turn.
         """
         for worker in batch:
             if arrangement.is_complete():
@@ -266,10 +274,10 @@ class MCFLTCSolver(OfflineSolver):
                 continue
             heap: TopKHeap = TopKHeap(spare)
             for task in candidates.iter_candidates(worker):
-                if arrangement.is_task_complete(task.task_id):
-                    continue
                 if (worker.index, task.task_id) in arrangement:
                     continue
                 heap.push(instance.acc_star(worker, task), task)
             for _, task in heap.pop_all():
                 arrangement.assign(worker, task)
+                if arrangement.is_task_complete(task.task_id):
+                    candidates.retire_tasks((task.task_id,))

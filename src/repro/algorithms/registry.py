@@ -42,6 +42,10 @@ class SolverCapabilities:
     online:
         Obeys the online temporal constraint (drivable arrival by arrival
         natively; offline solvers are driven through a replay session).
+    dynamic_tasks:
+        Accepts tasks posted after serving started: the session's
+        ``submit_tasks`` stays legal mid-stream because the solver's
+        candidate state rides the incremental engine.
     supports_batch:
         Processes workers in tunable batches (exposes ``batch_multiplier``).
     randomized:
@@ -51,6 +55,7 @@ class SolverCapabilities:
     """
 
     online: bool = False
+    dynamic_tasks: bool = False
     supports_batch: bool = False
     randomized: bool = False
     exact: bool = False
@@ -59,7 +64,13 @@ class SolverCapabilities:
         """The names of the capabilities that are set."""
         return [
             flag
-            for flag in ("online", "supports_batch", "randomized", "exact")
+            for flag in (
+                "online",
+                "dynamic_tasks",
+                "supports_batch",
+                "randomized",
+                "exact",
+            )
             if getattr(self, flag)
         ]
 
@@ -116,6 +127,7 @@ def _infer_capabilities(
     """Default capabilities from the factory's class attributes and signature."""
     return SolverCapabilities(
         online=bool(getattr(factory, "is_online", False)),
+        dynamic_tasks=bool(getattr(factory, "supports_dynamic_tasks", False)),
         supports_batch="batch_multiplier" in parameters,
         randomized="seed" in parameters,
     )

@@ -12,8 +12,12 @@ replay refuses streams that differ from the instance's own workers, because a
 plan computed for one future is meaningless on another.
 
 Both sessions defer solver start-up until the first arrival so that
-:meth:`~repro.core.session.Session.submit_tasks` can still extend the task
-set; afterwards the task set is frozen (assignments are irrevocable).
+:meth:`~repro.core.session.Session.submit_tasks` can stage tasks into the
+effective instance for free.  After activation, submission stays legal
+for online solvers that declare ``supports_dynamic_tasks`` (their
+candidate state rides the incremental engine, so new tasks append to the
+live snapshot); replay sessions and non-dynamic solvers refuse with
+:class:`~repro.core.session.SessionStateError`.
 """
 
 from __future__ import annotations
@@ -58,11 +62,8 @@ class _SolverSession(Session):
 
     def submit_tasks(self, tasks: Sequence[Task]) -> None:
         if self._instance is not None:
-            raise SessionStateError(
-                "tasks must be submitted before the first worker arrives; "
-                "online assignments are irrevocable, so the task set is "
-                "frozen once serving starts"
-            )
+            self._submit_live(list(tasks))
+            return
         known = {task.task_id for task in self._base_instance.tasks}
         known.update(task.task_id for task in self._extra_tasks)
         for task in tasks:
@@ -139,6 +140,14 @@ class _SolverSession(Session):
     def _dispatch(self, worker: Worker) -> List[Assignment]:
         raise NotImplementedError
 
+    def _submit_live(self, tasks: List[Task]) -> None:
+        """Post tasks after activation; the default (replay) refuses."""
+        raise SessionStateError(
+            f"session over solver {self._solver.name!r} cannot accept tasks "
+            "after the first worker arrives: an offline replay plan is "
+            "computed for a fixed future and cannot absorb new tasks"
+        )
+
 
 class OnlineSolverSession(_SolverSession):
     """Native session over an online solver's start/observe loop.
@@ -156,6 +165,24 @@ class OnlineSolverSession(_SolverSession):
             raise TypeError("OnlineSolverSession requires an online solver")
         super().__init__(solver, instance)
         self._online: OnlineSolver = solver
+
+    def _effective_instance(self) -> LTCInstance:
+        # Dynamic solvers extend their instance in place as tasks are
+        # submitted mid-stream, so the session must own a private copy —
+        # otherwise the caller's instance object would silently grow (and
+        # a second session or offline baseline run on it would see a
+        # different task set than the caller posted).
+        base = self._base_instance
+        if not self._extra_tasks and not self._online.supports_dynamic_tasks:
+            return base
+        return LTCInstance(
+            tasks=[*base.tasks, *self._extra_tasks],
+            workers=list(base.workers),
+            error_rate=base.error_rate,
+            accuracy_model=base.accuracy_model,
+            name=base.name,
+            min_assignable_accuracy=base.min_assignable_accuracy,
+        )
 
     @property
     def arrangement(self) -> Arrangement:
@@ -186,6 +213,26 @@ class OnlineSolverSession(_SolverSession):
     def _dispatch(self, worker: Worker) -> List[Assignment]:
         self._check_binding()
         return self._online.observe(worker)
+
+    def _submit_live(self, tasks: List[Task]) -> None:
+        """Mid-stream submission: forward to a dynamic solver in place.
+
+        The solver extends its instance/arrangement/candidate snapshot
+        (see :meth:`~repro.algorithms.base.OnlineSolver.add_tasks`).  The
+        instance it mutates is the session's *private working copy* (see
+        :meth:`_effective_instance`), so snapshots and completion checks
+        see the enlarged task set immediately while the instance object
+        the caller submitted stays untouched.
+        """
+        if not self._online.supports_dynamic_tasks:
+            raise SessionStateError(
+                f"solver {self._online.name!r} does not accept tasks after "
+                "the first worker arrives; its candidate snapshot froze at "
+                "activation (only dynamic engine-backed solvers can extend "
+                "a live task set)"
+            )
+        self._check_binding()
+        self._online.add_tasks(tasks)
 
     def result(self) -> SolveResult:
         self._activate()
@@ -289,10 +336,11 @@ def open_session(solver: Solver, instance: LTCInstance) -> Session:
         :class:`ReplaySession` that plans on the full instance at first
         arrival and replays the plan.
     instance:
-        The LTC instance to serve.  More tasks may still be added through
-        :meth:`~repro.core.session.Session.submit_tasks` until the first
-        worker arrives; afterwards the task set is frozen because
-        assignments are irrevocable.
+        The LTC instance to serve.  More tasks may always be added through
+        :meth:`~repro.core.session.Session.submit_tasks` before the first
+        worker arrives; after that, submission stays legal exactly for
+        dynamic online solvers (``supports_dynamic_tasks``), whose live
+        candidate snapshot absorbs the new tasks in place.
 
     Returns
     -------

@@ -108,6 +108,28 @@ class Arrangement:
         """Number of tasks assigned to the worker with ``worker_index``."""
         return self._load.get(worker_index, 0)
 
+    def add_tasks(self, tasks: Sequence[Task]) -> None:
+        """Extend the arrangement with newly posted tasks.
+
+        New tasks start with zero accumulated ``Acc*`` and no workers;
+        existing assignments and accumulations are untouched, so adding
+        tasks mid-stream simply reopens :meth:`is_complete` until the
+        newcomers reach the threshold too.  Raises ``ValueError`` when a
+        task id is already part of the arrangement.
+        """
+        incoming = list(tasks)
+        seen = set()
+        for task in incoming:
+            if task.task_id in self._tasks or task.task_id in seen:
+                raise ValueError(
+                    f"task id {task.task_id} is already part of this arrangement"
+                )
+            seen.add(task.task_id)
+        for task in incoming:
+            self._tasks[task.task_id] = task
+            self._accumulated[task.task_id] = 0.0
+            self._workers_by_task[task.task_id] = []
+
     def workers_of(self, task_id: int) -> List[int]:
         """Arrival indices of the workers assigned to ``task_id``."""
         return list(self._workers_by_task[task_id])

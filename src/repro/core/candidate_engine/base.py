@@ -15,9 +15,15 @@ The conformance bar matches the flow kernel's
 results**, down to ordering.  Concretely:
 
 * :meth:`CandidateBackend.eligible_positions` with ``ordered=True``
-  returns positions ascending (ascending task id) for grid-mode engines
-  and instance order for scan-mode engines — exactly the pre-engine
+  returns positions ascending by task id for grid-mode engines and
+  posting order for scan-mode engines — exactly the pre-engine
   ``CandidateFinder`` iteration orders;
+* every query filters **tombstoned positions** (the engine's ``alive``
+  mask; see :meth:`~repro.core.candidate_engine.engine.CandidateEngine.retire_tasks`)
+  out of its candidate pool *before* the accuracy evaluation, and
+  grid-mode pools are the CSR cells **plus the spill range**
+  ``[engine.spill_start, engine.num_tasks)`` of positions appended
+  since the last grid rebuild;
 * the eligibility decision is pinned to the scalar expression
   ``Acc(w, t) >= min_accuracy - 1e-12`` with ``Acc`` evaluated by the
   pure-python :meth:`~repro.core.candidate_engine.engine.CandidateEngine.scalar_accuracy`
@@ -117,6 +123,25 @@ class CandidateBackend(ABC):
     def float_array(self, size: int, fill: float) -> Sequence[float]:
         """A mutable per-position float container, initialised to ``fill``."""
         return [fill] * size
+
+    def grow_bool_array(self, array: Sequence[bool], size: int) -> Sequence[bool]:
+        """``array`` extended with ``False`` entries up to ``size``.
+
+        Positions are append-only (``CandidateEngine.add_tasks``), so
+        growing a per-position container is a copy-and-extend; the slice
+        assignment works for both list and ndarray layouts.
+        """
+        grown = self.bool_array(size)
+        grown[: len(array)] = array
+        return grown
+
+    def grow_float_array(
+        self, array: Sequence[float], size: int, fill: float
+    ) -> Sequence[float]:
+        """``array`` extended with ``fill`` entries up to ``size``."""
+        grown = self.float_array(size, fill)
+        grown[: len(array)] = array
+        return grown
 
     # ------------------------------------------------------------- queries
 

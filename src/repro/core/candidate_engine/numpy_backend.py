@@ -26,7 +26,14 @@ is engineered the same way the numpy flow backend is (the PR 3 playbook):
   scalar heap loop, so pop order (including the lower-id tie rule) is
   identical by construction;
 * ``generic`` engines (arbitrary python accuracy models) are delegated
-  wholesale to the scalar backend: there is nothing to vectorize.
+  wholesale to the scalar backend: there is nothing to vectorize;
+* dynamic snapshots cost one boolean mask: tombstoned positions are
+  filtered with the mirrored ``alive`` array inside the same keep-mask
+  as the radius prefilter, and the spill range (tasks appended since
+  the last grid rebuild) is prefiltered as one extra contiguous slice —
+  both use the identical pinned arithmetic, so exactness is unaffected.
+  The mirrors re-sync incrementally (tail concatenation + tombstone-log
+  replay) rather than rebuilding per mutation.
 
 Vectorization is also **adaptive**: queries whose gathered block would
 carry fewer than :data:`VECTOR_MIN_BLOCK` candidates take the scalar path
@@ -119,7 +126,11 @@ class NumpyCandidateBackend(CandidateBackend):
         )
         start = engine.cell_start
         assert start is not None
-        total = 0
+        # The spill range (appended since the last grid rebuild) joins
+        # every gathered block; tombstoned members only over-estimate.
+        total = engine.num_tasks - engine.spill_start
+        if total >= VECTOR_MIN_BLOCK:
+            return False
         for row in range(row0, row1 + 1):
             base = row * engine.cols
             total += start[base + col1 + 1] - start[base + col0]
@@ -132,9 +143,12 @@ class NumpyCandidateBackend(CandidateBackend):
     ) -> Tuple[object, object]:
         """``(positions, squared_distances)`` after the exact radius prefilter.
 
-        In scan mode the block is every task in instance order (the oracle
-        scan applies no radius gate, and neither may we).  Returns empty
-        arrays when the worker can never reach the threshold.
+        In scan mode the block is every alive task in posting order (the
+        oracle scan applies no radius gate, and neither may we).  In grid
+        mode the block is the CSR cells plus the spill range of positions
+        appended since the last grid rebuild, tombstones filtered out of
+        both.  Returns empty arrays when the worker can never reach the
+        threshold.
         """
         mirrors = engine.numpy_mirrors(np)
         wx, wy = worker.location.x, worker.location.y
@@ -157,23 +171,44 @@ class NumpyCandidateBackend(CandidateBackend):
                     parts.append(mirrors.cell_positions[lo:hi])
                     parts_x.append(mirrors.xs_cell[lo:hi])
                     parts_y.append(mirrors.ys_cell[lo:hi])
-            if not parts:
-                empty = np.empty(0, dtype=np.int64)
-                return empty, empty
-            if len(parts) == 1:
-                block, block_x, block_y = parts[0], parts_x[0], parts_y[0]
+            if parts:
+                if len(parts) == 1:
+                    block, block_x, block_y = parts[0], parts_x[0], parts_y[0]
+                else:
+                    block = np.concatenate(parts)
+                    block_x = np.concatenate(parts_x)
+                    block_y = np.concatenate(parts_y)
+                dxs = block_x - wx
+                dys = block_y - wy
+                d2 = dxs * dxs + dys * dys
+                keep = d2 <= radius * radius
+                if engine.dead_count:
+                    keep &= mirrors.alive[block]
+                block, d2 = block[keep], d2[keep]
             else:
-                block = np.concatenate(parts)
-                block_x = np.concatenate(parts_x)
-                block_y = np.concatenate(parts_y)
-            dxs = block_x - wx
-            dys = block_y - wy
-            d2 = dxs * dxs + dys * dys
-            keep = d2 <= radius * radius
-            return block[keep], d2[keep]
-        # Scan mode: the block is every task, gathered in instance order so
-        # that downstream filters preserve the oracle's iteration order.
+                block = d2 = np.empty(0, dtype=np.int64)
+            spill_lo = engine.spill_start
+            if spill_lo < engine.num_tasks:
+                dxs = mirrors.xs[spill_lo:] - wx
+                dys = mirrors.ys[spill_lo:] - wy
+                spill_d2 = dxs * dxs + dys * dys
+                keep = spill_d2 <= radius * radius
+                if engine.dead_count:
+                    keep &= mirrors.alive[spill_lo:]
+                spill = np.arange(spill_lo, engine.num_tasks, dtype=np.int64)
+                spill, spill_d2 = spill[keep], spill_d2[keep]
+                if len(block):
+                    block = np.concatenate([block, spill])
+                    d2 = np.concatenate([d2, spill_d2])
+                else:
+                    block, d2 = spill, spill_d2
+            return block, d2
+        # Scan mode: the block is every task, gathered in posting order so
+        # that downstream filters preserve the oracle's iteration order
+        # (boolean masking is order-preserving).
         block = mirrors.instance_positions
+        if engine.dead_count:
+            block = block[mirrors.alive[block]]
         dxs = mirrors.xs[block] - wx
         dys = mirrors.ys[block] - wy
         return block, dxs * dxs + dys * dys
@@ -222,9 +257,13 @@ class NumpyCandidateBackend(CandidateBackend):
         positions = positions[eligible]
         acc = acc[eligible]
         if sort and engine.mode == "grid":
-            # Cell gathering is row-major; the oracle order is ascending
-            # task id, i.e. ascending position.
-            order = np.argsort(positions)
+            # Cell gathering is row-major (plus the spill tail); the
+            # oracle order is ascending task id — ascending position
+            # while appends stayed id-monotone, id-keyed otherwise.
+            if engine.positions_id_ordered:
+                order = np.argsort(positions)
+            else:
+                order = np.argsort(engine.numpy_mirrors(np).task_ids[positions])
             positions, acc = positions[order], acc[order]
         return positions, acc
 
@@ -306,9 +345,13 @@ class NumpyCandidateBackend(CandidateBackend):
             kth = np.partition(scores, count - k)[count - k]
             positions = positions[scores >= kth - TOPK_SCORE_MARGIN]
         if engine.mode == "grid":
-            superset = np.sort(positions).tolist()
+            if engine.positions_id_ordered:
+                superset = np.sort(positions).tolist()
+            else:
+                ids = engine.numpy_mirrors(np).task_ids[positions]
+                superset = positions[np.argsort(ids)].tolist()
         else:
-            # Scan blocks stream in instance order — the oracle push order
+            # Scan blocks stream in posting order — the oracle push order
             # — and every filter above preserved it.
             superset = positions.tolist()
         # Rescore the superset through the shared scalar heap: pop order is

@@ -38,20 +38,34 @@ class PythonCandidateBackend(CandidateBackend):
             radius = engine.radius_of(worker)
             if radius < 0:
                 return []
+            # The grid gather already skips tombstoned positions.
             block = engine.grid_block_positions(
                 worker.location.x, worker.location.y, radius
             )
             if ordered:
-                block.sort()
+                engine.sort_positions(block)
+            pool_is_alive = True
         else:
             block = engine.instance_positions
+            pool_is_alive = engine.dead_count == 0
         scalar_eligible = engine.scalar_eligible
+        if pool_is_alive:
+            if allowed is None:
+                return [p for p in block if scalar_eligible(worker, p)]
+            return [p for p in block if allowed[p] and scalar_eligible(worker, p)]
+        alive = engine.alive
         if allowed is None:
-            return [p for p in block if scalar_eligible(worker, p)]
-        return [p for p in block if allowed[p] and scalar_eligible(worker, p)]
+            return [p for p in block if alive[p] and scalar_eligible(worker, p)]
+        return [
+            p
+            for p in block
+            if alive[p] and allowed[p] and scalar_eligible(worker, p)
+        ]
 
     def has_candidates(self, engine: "CandidateEngine", worker: "Worker") -> bool:
         scalar_eligible = engine.scalar_eligible
+        alive = engine.alive
+        has_dead = engine.dead_count > 0
         if engine.mode == "grid":
             radius = engine.radius_of(worker)
             if radius < 0:
@@ -67,11 +81,26 @@ class PythonCandidateBackend(CandidateBackend):
             for row in range(row0, row1 + 1):
                 base = row * engine.cols
                 for p in order[start[base + col0] : start[base + col1 + 1]]:
+                    if has_dead and not alive[p]:
+                        continue
                     dx = xs[p] - wx
                     dy = ys[p] - wy
                     if dx * dx + dy * dy <= r2 and scalar_eligible(worker, p):
                         return True
+            # Spill positions appended since the last grid rebuild.
+            for p in range(engine.spill_start, engine.num_tasks):
+                if has_dead and not alive[p]:
+                    continue
+                dx = xs[p] - wx
+                dy = ys[p] - wy
+                if dx * dx + dy * dy <= r2 and scalar_eligible(worker, p):
+                    return True
             return False
+        if has_dead:
+            return any(
+                alive[p] and scalar_eligible(worker, p)
+                for p in engine.instance_positions
+            )
         return any(
             scalar_eligible(worker, p) for p in engine.instance_positions
         )

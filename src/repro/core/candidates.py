@@ -19,6 +19,12 @@ identical order, so the choice is purely a speed knob; see
 ``docs/candidates.md``.  (The pre-engine object-level scan survives as
 :class:`~repro.core.candidates_legacy.LegacyCandidateFinder`, the
 differential-test oracle.)
+
+The facade is **long-lived**: :meth:`CandidateFinder.add_tasks` appends
+newly posted tasks and :meth:`CandidateFinder.retire_tasks` tombstones
+completed or expired ones, so a finder serving a stream (a dispatcher
+session, an online solver) is built once and mutated in place instead of
+being re-snapshotted per change.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Sequence,
     Tuple,
 )
 
@@ -114,6 +121,31 @@ class CandidateFinder:
     def backend_name(self) -> str:
         """Name of the candidate backend answering this finder's queries."""
         return self._engine.backend.name
+
+    def add_tasks(self, tasks: Sequence[Task]) -> None:
+        """Append newly posted tasks to the live snapshot.
+
+        New tasks take fresh engine positions (existing positions never
+        move, so per-position solver state stays valid) and become
+        immediately queryable; in grid mode they join the spill range
+        until the engine's next threshold-triggered rebuild merges them
+        into the CSR cells.  Raises ``ValueError`` on a task id already
+        known to the snapshot, retired ones included.
+        """
+        self._engine.add_tasks(tasks)
+
+    def retire_tasks(self, task_ids: Iterable[int]) -> None:
+        """Tombstone completed or expired tasks.
+
+        Retired tasks vanish from every subsequent query — candidate
+        lists, ``eligible_pairs`` streams, ``topk`` selection,
+        ``has_candidates`` — without any snapshot rebuild.  This replaces
+        the per-solver completed-mask plumbing: a solver retires a task
+        the moment its arrangement completes it, and every later query is
+        automatically restricted to the open task set.  Retiring an
+        already-retired task is a no-op; unknown ids raise ``KeyError``.
+        """
+        self._engine.retire_tasks(task_ids)
 
     def is_eligible(self, worker: Worker, task: Task) -> bool:
         """Whether ``worker`` may be assigned ``task``."""

@@ -109,6 +109,26 @@ class LTCInstance:
         """Mapping from arrival index to worker (copy)."""
         return dict(self._workers_by_index)
 
+    def add_tasks(self, tasks: Sequence[Task]) -> None:
+        """Append newly posted tasks (the online dynamic-arrival path).
+
+        The paper's online setting is a stream: tasks keep being posted
+        while workers check in.  Sessions over dynamic solvers mutate
+        their *private working copy* of the instance through this method
+        (the caller's original is never touched), so downstream views
+        (``num_tasks``, ``task()``, progress counters) stay consistent.
+        Raises ``ValueError`` when a task id is already posted.
+        """
+        incoming = list(tasks)
+        seen = set()
+        for task in incoming:
+            if task.task_id in self._tasks_by_id or task.task_id in seen:
+                raise ValueError(f"task id {task.task_id} is already posted")
+            seen.add(task.task_id)
+        for task in incoming:
+            self.tasks.append(task)
+            self._tasks_by_id[task.task_id] = task
+
     def iter_workers(self) -> Iterator[Worker]:
         """Workers in arrival order."""
         return iter(self.workers)

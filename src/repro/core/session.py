@@ -4,14 +4,24 @@ The paper's setting is inherently a service: tasks are posted, workers check
 in one at a time, and every assignment is an irrevocable online decision.  A
 :class:`Session` is the uniform incremental surface over that loop:
 
-* :meth:`Session.submit_tasks` posts additional tasks **before** the first
-  worker arrives (assignments are irrevocable, so the task set freezes once
-  serving starts);
+* :meth:`Session.submit_tasks` posts additional tasks.  Before the first
+  worker arrives this is always legal (the tasks are staged into the
+  effective instance); afterwards it stays legal exactly for sessions
+  over *dynamic* online solvers (those with ``supports_dynamic_tasks``,
+  whose candidate state rides the incremental engine) — the new tasks
+  join the live snapshot without a rebuild and serving continues.
+  Sessions over offline replay plans refuse mid-stream tasks: their plan
+  was computed for a fixed future;
 * :meth:`Session.on_worker` feeds one arriving worker and returns the
   assignments committed for it;
 * :meth:`Session.snapshot` reports cheap progress counters at any point;
 * :meth:`Session.result` finalises the run into a
   :class:`~repro.algorithms.base.SolveResult`.
+
+Prior assignments are never revisited: submitting tasks mid-stream only
+*reopens* completion (the newcomers still need quality), it cannot
+invalidate a committed decision.  See ``docs/sessions.md`` for the full
+lifecycle, including how the dispatcher drives many such sessions.
 
 Every solver opens sessions through
 :meth:`~repro.algorithms.base.Solver.open_session`: online solvers implement
@@ -39,10 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotations only)
 class SessionStateError(RuntimeError):
     """An operation was issued in a state the session cannot honour.
 
-    Raised e.g. when tasks are submitted after the first worker has arrived
-    (the online task set is frozen once serving starts) or when a replay
-    session is fed a stream that differs from the one its plan was computed
-    on.
+    Raised e.g. when tasks are submitted mid-stream to a session whose
+    solver cannot extend its task set (offline replay plans, non-dynamic
+    online solvers) or when a replay session is fed a stream that differs
+    from the one its plan was computed on.
     """
 
 
@@ -90,13 +100,23 @@ class Session(abc.ABC):
 
     @abc.abstractmethod
     def submit_tasks(self, tasks: Sequence[Task]) -> None:
-        """Post additional tasks; only allowed before the first worker arrives.
+        """Post additional tasks to the session.
+
+        Always legal before the first worker arrives (tasks are staged
+        into the effective instance).  After the first arrival it remains
+        legal for sessions over dynamic online solvers — the tasks join
+        the live candidate snapshot in place and the session's completion
+        state reopens until they too reach the quality threshold.
 
         Raises
         ------
         SessionStateError
-            If a worker has already been observed (assignments are
-            irrevocable, so the task set freezes once serving starts).
+            If a worker has already been observed and the serving solver
+            cannot extend its task set mid-stream (offline replay plans
+            are computed for a fixed future; non-dynamic online solvers
+            froze their snapshot at activation).
+        ValueError
+            If a submitted task id is already posted.
         """
 
     @abc.abstractmethod

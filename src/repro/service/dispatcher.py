@@ -13,6 +13,11 @@ workers.  :class:`LTCDispatcher` is that serving surface:
   *eligible* — able to perform at least one of the session's tasks above the
   instance's assignable-accuracy threshold, which under the paper's sigmoid
   accuracy model is a geographic proximity test;
+* :meth:`~LTCDispatcher.submit_tasks` posts additional tasks to an open
+  session **mid-stream**: campaigns are long-lived and keep receiving
+  tasks while workers flow.  Both the session's live candidate snapshot
+  and the dispatcher's own routing snapshot absorb the tasks in place
+  (no rebuild), and a session that had completed reopens;
 * :meth:`~LTCDispatcher.poll` reports per-session progress snapshots;
 * :meth:`~LTCDispatcher.close` finalises a session into its
   :class:`~repro.algorithms.base.SolveResult`.
@@ -29,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.algorithms.base import Solver, SolveResult
 from repro.algorithms.registry import build_solver
@@ -39,6 +44,7 @@ from repro.core.candidate_engine import validate_candidate_backend_name
 from repro.core.candidates import CandidateFinder
 from repro.core.instance import LTCInstance
 from repro.core.session import Session, SessionSnapshot
+from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.service.metrics import DispatcherMetrics
 
@@ -78,12 +84,15 @@ class _ManagedSession:
     session_id: str
     instance: LTCInstance
     session: Session
+    #: The dispatcher's own routing snapshot.  Long-lived: built once at
+    #: submission and mutated in place (``add_tasks``) when tasks are
+    #: posted mid-stream — never rebuilt per change.
     candidates: CandidateFinder
     solver: Solver
     workers_routed: int = 0
-    #: Completion is monotone, so it is cached here once observed — the
-    #: dispatch hot path must not re-scan a finished session's task set on
-    #: every arrival.
+    #: Completion is cached here once observed — the dispatch hot path
+    #: must not re-scan a finished session's task set on every arrival.
+    #: No longer monotone: a mid-stream task submission reopens it.
     complete: bool = False
     routed_stream: Optional[List[Worker]] = None
 
@@ -195,6 +204,32 @@ class LTCDispatcher:
         self._metrics.sessions_opened += 1
         return session_id
 
+    def submit_tasks(self, session_id: str, tasks: Sequence[Task]) -> str:
+        """Post additional tasks to an open session and return its id.
+
+        Works at any point in the session's life: before its first routed
+        worker the tasks are staged by the session, afterwards they join
+        the serving solver's live candidate snapshot in place (legal for
+        the dynamic online solvers the dispatcher accepts; a solver
+        without dynamic support raises
+        :class:`~repro.core.session.SessionStateError` and the dispatcher
+        state is left untouched).  The dispatcher's own routing snapshot
+        absorbs the tasks too, so subsequent arrivals near only the new
+        tasks route correctly — and a session that had already completed
+        reopens and resumes receiving workers.
+        """
+        managed = self._managed(session_id)
+        tasks = list(tasks)
+        # Session first: it validates duplicate ids (and dynamic support)
+        # before the routing snapshot is touched, keeping the two in step.
+        managed.session.submit_tasks(tasks)
+        managed.candidates.add_tasks(tasks)
+        self._metrics.tasks_submitted += len(tasks)
+        if managed.complete and not managed.session.is_complete:
+            managed.complete = False
+            self._metrics.sessions_reopened += 1
+        return session_id
+
     @property
     def session_ids(self) -> List[str]:
         """Ids of all open (not yet closed) sessions, in submission order."""
@@ -212,12 +247,14 @@ class LTCDispatcher:
 
         The worker is delivered to every open, still-incomplete session it is
         eligible for (it can perform at least one of the session's tasks).
-        Eligibility is deliberately *static* — a worker near only-completed
-        tasks still counts as a session arrival — so the per-session latency
-        axis means the same thing for the whole run, exactly as a standalone
-        drive of that sub-stream would count it.  The returned mapping has an
-        entry for each session the worker reached, possibly with an empty
-        assignment list when the session's solver declined to use the worker.
+        Eligibility never *shrinks* — a worker near only-completed tasks
+        still counts as a session arrival, so the per-session latency axis
+        means the same thing for the whole run, exactly as a standalone
+        drive of that sub-stream would count it — but it does *grow* when
+        :meth:`submit_tasks` posts tasks mid-stream (the routing snapshot
+        absorbs them in place).  The returned mapping has an entry for each
+        session the worker reached, possibly with an empty assignment list
+        when the session's solver declined to use the worker.
         """
         started = time.perf_counter()
         self._metrics.workers_fed += 1

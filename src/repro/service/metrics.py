@@ -19,9 +19,17 @@ class DispatcherMetrics:
     Attributes
     ----------
     sessions_opened / sessions_completed / sessions_closed:
-        Lifecycle counts.  ``completed`` counts sessions whose every task
-        reached the quality threshold while being fed; ``closed`` counts
-        explicit :meth:`~repro.service.LTCDispatcher.close` calls.
+        Lifecycle counts.  ``completed`` counts completion *events* while
+        being fed (a session reopened by a mid-stream task submission can
+        complete again); ``closed`` counts explicit
+        :meth:`~repro.service.LTCDispatcher.close` calls.
+    sessions_reopened:
+        Completed sessions pulled back into serving because
+        :meth:`~repro.service.LTCDispatcher.submit_tasks` posted new
+        tasks to them.
+    tasks_submitted:
+        Tasks posted to open sessions after submission (the dynamic
+        mid-stream path), across all sessions.
     workers_fed:
         Arrivals offered to the dispatcher.
     workers_routed:
@@ -39,6 +47,8 @@ class DispatcherMetrics:
     sessions_opened: int = 0
     sessions_completed: int = 0
     sessions_closed: int = 0
+    sessions_reopened: int = 0
+    tasks_submitted: int = 0
     workers_fed: int = 0
     workers_routed: int = 0
     workers_unrouted: int = 0
@@ -65,6 +75,8 @@ class DispatcherMetrics:
             "sessions_opened": float(self.sessions_opened),
             "sessions_completed": float(self.sessions_completed),
             "sessions_closed": float(self.sessions_closed),
+            "sessions_reopened": float(self.sessions_reopened),
+            "tasks_submitted": float(self.tasks_submitted),
             "workers_fed": float(self.workers_fed),
             "workers_routed": float(self.workers_routed),
             "workers_unrouted": float(self.workers_unrouted),

@@ -1,0 +1,361 @@
+"""The dynamic candidate snapshot: appends, tombstones, spill, rebuilds.
+
+The engine's incremental layer must be invisible at the query surface:
+after any interleaving of ``add_tasks`` / ``retire_tasks`` calls, every
+query of every backend must answer exactly like a from-scratch
+:class:`~repro.core.candidates_legacy.LegacyCandidateFinder` built over
+the currently-alive tasks in posting order.  The hypothesis suite below
+drives randomized insert/complete/expire interleavings through both
+backends (and the forced vector path) against that rebuild-from-scratch
+oracle; the unit tests pin the machinery itself — position stability,
+epoch counters, spill thresholds, tombstone idempotence, the
+out-of-order-id sort switch, and the numpy mirror sync.
+"""
+
+import contextlib
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.candidate_engine import CandidateEngine, NumpyCandidateBackend
+from repro.core.candidate_engine import engine as engine_module
+from repro.core.candidates import CandidateFinder
+from repro.core.candidates_legacy import LegacyCandidateFinder
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.point import Point
+from repro.structures.topk import TopKHeap
+
+NUMPY_AVAILABLE = NumpyCandidateBackend().is_available()
+
+BACKENDS = ["python"] + (["numpy"] if NUMPY_AVAILABLE else [])
+
+
+@contextlib.contextmanager
+def forced_vector_path():
+    """Drop the numpy backend's adaptive cutover to 1 for the duration."""
+    from repro.core.candidate_engine import numpy_backend as nb
+
+    previous = nb.VECTOR_MIN_BLOCK
+    nb.VECTOR_MIN_BLOCK = 1
+    try:
+        yield
+    finally:
+        nb.VECTOR_MIN_BLOCK = previous
+
+
+def make_instance(num_tasks=8, num_workers=10, box=100.0, seed=0, first_id=0):
+    rng = random.Random(seed)
+    tasks = [
+        Task(task_id=first_id + i,
+             location=Point(rng.uniform(0, box), rng.uniform(0, box)))
+        for i in range(num_tasks)
+    ]
+    workers = [
+        Worker(index=i + 1,
+               location=Point(rng.uniform(0, box), rng.uniform(0, box)),
+               accuracy=rng.uniform(0.7, 1.0), capacity=3)
+        for i in range(num_workers)
+    ]
+    return LTCInstance(tasks=tasks, workers=workers, error_rate=0.2)
+
+
+def fresh_tasks(count, box, rng, used_ids):
+    """New tasks at random locations with ids not yet posted."""
+    batch = []
+    while len(batch) < count:
+        task_id = rng.randrange(100_000)
+        if task_id in used_ids:
+            continue
+        used_ids.add(task_id)
+        batch.append(
+            Task(task_id=task_id,
+                 location=Point(rng.uniform(0, box), rng.uniform(0, box)))
+        )
+    return batch
+
+
+class TestDynamicMachinery:
+    def test_positions_are_append_only_and_stable(self):
+        instance = make_instance()
+        engine = CandidateEngine(instance, backend="python")
+        before = dict(engine.position_of)
+        engine.add_tasks([Task.at(500, 1.0, 1.0), Task.at(501, 2.0, 2.0)])
+        engine.retire_tasks([instance.tasks[0].task_id])
+        for task_id, position in before.items():
+            assert engine.position_of[task_id] == position
+        assert engine.position_of[500] == len(before)
+        assert engine.position_of[501] == len(before) + 1
+        assert engine.num_tasks == len(before) + 2
+
+    def test_epoch_counters_track_mutations(self):
+        engine = CandidateEngine(make_instance(), backend="python")
+        epoch = engine.epoch
+        engine.add_tasks([Task.at(500, 1.0, 1.0)])
+        assert engine.epoch == epoch + 1
+        engine.retire_tasks([500])
+        assert engine.epoch == epoch + 2
+        # Re-retiring is a no-op and does not bump the epoch.
+        engine.retire_tasks([500])
+        assert engine.epoch == epoch + 2
+
+    def test_duplicate_and_unknown_ids_raise(self):
+        instance = make_instance()
+        engine = CandidateEngine(instance, backend="python")
+        existing = instance.tasks[0].task_id
+        with pytest.raises(ValueError, match="already in the snapshot"):
+            engine.add_tasks([Task.at(existing, 0.0, 0.0)])
+        with pytest.raises(ValueError, match="already in the snapshot"):
+            engine.add_tasks([Task.at(700, 0.0, 0.0), Task.at(700, 1.0, 1.0)])
+        with pytest.raises(KeyError, match="not in the snapshot"):
+            engine.retire_tasks([999_999])
+        # A retired id stays reserved: positions are never reused.
+        engine.retire_tasks([existing])
+        with pytest.raises(ValueError, match="already in the snapshot"):
+            engine.add_tasks([Task.at(existing, 0.0, 0.0)])
+
+    def test_spill_threshold_triggers_grid_rebuild(self, monkeypatch):
+        monkeypatch.setattr(engine_module, "SPILL_REBUILD_MIN", 4)
+        engine = CandidateEngine(make_instance(num_tasks=6), backend="python")
+        assert engine.mode == "grid"
+        assert engine.rebuild_count == 0
+        spill_before = engine.spill_start
+        engine.add_tasks([Task.at(500 + i, 1.0, 1.0) for i in range(3)])
+        # Below the threshold: the appends stay in the spill range.
+        assert engine.rebuild_count == 0
+        assert engine.spill_start == spill_before
+        assert engine.num_tasks - engine.spill_start == 3
+        engine.add_tasks([Task.at(600 + i, 2.0, 2.0) for i in range(3)])
+        # Crossing it merges the spill into the CSR cells.
+        assert engine.rebuild_count == 1
+        assert engine.spill_start == engine.num_tasks
+
+    def test_spill_threshold_is_capped_absolutely(self, monkeypatch):
+        """On large grids the fractional threshold alone would let every
+        query scan a spill of ~25% of the snapshot; the absolute cap
+        bounds it."""
+        monkeypatch.setattr(engine_module, "SPILL_REBUILD_MIN", 1)
+        monkeypatch.setattr(engine_module, "SPILL_REBUILD_MAX", 5)
+        engine = CandidateEngine(make_instance(num_tasks=100), backend="python")
+        engine.add_tasks([Task.at(1_000 + i, 1.0, 1.0) for i in range(6)])
+        # fraction * 100 = 25 would not have triggered yet; the cap did.
+        assert engine.rebuild_count == 1
+        assert engine.spill_start == engine.num_tasks
+
+    def test_rebuild_sweeps_tombstones_out_of_the_grid(self):
+        instance = make_instance(num_tasks=10)
+        engine = CandidateEngine(instance, backend="python")
+        assert len(engine.cell_positions) == 10
+        engine.retire_tasks([task.task_id for task in instance.tasks[:4]])
+        # Lazy: tombstones stay in the cells until a rebuild...
+        assert len(engine.cell_positions) == 10
+        engine.rebuild_index()
+        # ...which drops them (only alive positions are packed).
+        assert len(engine.cell_positions) == 6
+        assert all(engine.alive[p] for p in engine.cell_positions)
+
+    def test_rebuild_index_is_a_noop_off_grid(self):
+        engine = CandidateEngine(
+            make_instance(), use_spatial_index=False, backend="python"
+        )
+        assert engine.mode == "scan"
+        grid_epoch = engine.grid_epoch
+        engine.rebuild_index()
+        assert engine.grid_epoch == grid_epoch
+
+    def test_out_of_order_ids_flip_the_sort_key(self):
+        instance = make_instance(first_id=100)
+        engine = CandidateEngine(instance, backend="python")
+        assert engine.positions_id_ordered
+        engine.add_tasks([Task.at(7, 1.0, 1.0)])  # id below every existing one
+        assert not engine.positions_id_ordered
+        worker = Worker.at(1, 1.0, 1.0, accuracy=0.95, capacity=3)
+        got = [t.task_id for t in engine.eligible_tasks(worker)]
+        assert got == sorted(got)
+
+    def test_grow_containers_preserve_prefix(self):
+        for backend in BACKENDS:
+            engine = CandidateEngine(make_instance(), backend=backend)
+            flags = engine.bool_array()
+            values = engine.float_array(1.0)
+            flags[1] = True
+            values[2] = 9.5
+            engine.add_tasks([Task.at(500, 1.0, 1.0), Task.at(501, 2.0, 2.0)])
+            flags = engine.grow_bool_array(flags)
+            values = engine.grow_float_array(values, 3.25)
+            assert len(flags) == engine.num_tasks == len(values)
+            assert bool(flags[1]) and not bool(flags[0])
+            assert float(values[2]) == 9.5
+            assert float(values[engine.num_tasks - 1]) == 3.25
+
+    def test_all_tasks_retired_leaves_empty_queries(self):
+        for backend in BACKENDS:
+            instance = make_instance(num_tasks=4)
+            engine = CandidateEngine(instance, min_accuracy=0.0, backend=backend)
+            worker = instance.workers[0]
+            assert engine.eligible_tasks(worker)
+            engine.retire_tasks([task.task_id for task in instance.tasks])
+            assert engine.eligible_tasks(worker) == []
+            assert not engine.has_candidates(worker)
+            assert engine.topk_acc_star(worker, 3) == []
+            # A rebuild over the empty alive set must also survive.
+            engine.rebuild_index()
+            assert engine.eligible_tasks(worker) == []
+
+    @pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not installed")
+    def test_numpy_mirrors_sync_incrementally(self):
+        import numpy as np
+
+        instance = make_instance()
+        engine = CandidateEngine(instance, backend="numpy")
+        mirrors = engine.numpy_mirrors(np)
+        engine.add_tasks([Task.at(500, 3.0, 4.0)])
+        engine.retire_tasks([instance.tasks[0].task_id])
+        synced = engine.numpy_mirrors(np)
+        assert synced is mirrors  # one cached mirror object, synced in place
+        assert len(synced.xs) == engine.num_tasks
+        assert synced.task_ids[engine.position_of[500]] == 500
+        assert not synced.alive[engine.position_of[instance.tasks[0].task_id]]
+        assert bool(synced.alive[engine.position_of[500]])
+
+
+@st.composite
+def interleavings(draw):
+    """A base instance plus a random insert/retire/query interleaving."""
+    rng = draw(st.randoms(use_true_random=False))
+    num_tasks = draw(st.integers(min_value=2, max_value=12))
+    num_workers = draw(st.integers(min_value=2, max_value=10))
+    box = draw(st.sampled_from([60.0, 150.0]))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    instance = make_instance(num_tasks, num_workers, box, seed,
+                             first_id=draw(st.sampled_from([0, 5_000])))
+    steps = []
+    used_ids = {task.task_id for task in instance.tasks}
+    for _ in range(draw(st.integers(min_value=3, max_value=12))):
+        kind = rng.random()
+        if kind < 0.45:
+            steps.append(("add", fresh_tasks(rng.randint(1, 4), box, rng, used_ids)))
+        else:
+            steps.append(("retire", rng.random()))
+    return instance, steps, box
+
+
+class TestDynamicDifferential:
+    """Randomized interleavings vs the rebuild-from-scratch legacy oracle."""
+
+    @staticmethod
+    def _check_against_oracle(engines, posted, alive_ids, workers,
+                              use_spatial_index, min_accuracy):
+        alive_tasks = [task for task in posted if task.task_id in alive_ids]
+        oracle = None
+        if alive_tasks:
+            oracle_instance = LTCInstance(
+                tasks=alive_tasks, workers=workers, error_rate=0.2,
+            )
+            oracle = LegacyCandidateFinder(
+                oracle_instance, min_accuracy=min_accuracy,
+                use_spatial_index=use_spatial_index,
+            )
+        for worker in workers:
+            expected = (
+                [task.task_id for task in oracle.candidates(worker)]
+                if oracle is not None else []
+            )
+            heap: TopKHeap = TopKHeap(2)
+            if oracle is not None:
+                for task in oracle.candidates(worker):
+                    heap.push(oracle_instance.acc_star(worker, task), task)
+            expected_top = [task.task_id for _, task in heap.pop_all()]
+            for engine in engines:
+                name = engine.backend.name
+                got = [task.task_id for task in engine.eligible_tasks(worker)]
+                assert got == expected, name
+                assert engine.has_candidates(worker) == bool(expected), name
+                got_top = [
+                    task.task_id for task in engine.topk_acc_star(worker, 2)
+                ]
+                assert got_top == expected_top, name
+
+    @given(data=interleavings(), use_spatial_index=st.booleans())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.large_base_example])
+    def test_backends_match_rebuild_from_scratch(self, data, use_spatial_index):
+        instance, steps, box = data
+        min_accuracy = instance.min_assignable_accuracy
+        engines = [
+            CandidateEngine(
+                instance, use_spatial_index=use_spatial_index, backend=backend
+            )
+            for backend in BACKENDS
+        ]
+        posted = list(instance.tasks)
+        alive_ids = {task.task_id for task in instance.tasks}
+        rng = random.Random(4242)
+        with forced_vector_path():
+            for kind, payload in steps:
+                if kind == "add":
+                    for engine in engines:
+                        engine.add_tasks(payload)
+                    posted.extend(payload)
+                    alive_ids.update(task.task_id for task in payload)
+                elif alive_ids:
+                    count = max(1, int(payload * len(alive_ids)) // 2)
+                    victims = rng.sample(sorted(alive_ids), count)
+                    for engine in engines:
+                        engine.retire_tasks(victims)
+                    alive_ids.difference_update(victims)
+                self._check_against_oracle(
+                    engines, posted, alive_ids, instance.workers,
+                    use_spatial_index, min_accuracy,
+                )
+
+    @given(data=interleavings())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.large_base_example])
+    def test_forced_rebuilds_change_nothing(self, data):
+        """Same interleaving, with the grid rebuilt after every mutation."""
+        instance, steps, box = data
+        engines = [
+            CandidateEngine(instance, backend=backend) for backend in BACKENDS
+        ]
+        eager = [CandidateEngine(instance, backend=b) for b in BACKENDS]
+        posted = list(instance.tasks)
+        alive_ids = {task.task_id for task in instance.tasks}
+        rng = random.Random(99)
+        for kind, payload in steps:
+            if kind == "add":
+                for engine in engines + eager:
+                    engine.add_tasks(payload)
+                posted.extend(payload)
+                alive_ids.update(task.task_id for task in payload)
+            elif alive_ids:
+                count = max(1, int(payload * len(alive_ids)) // 2)
+                victims = rng.sample(sorted(alive_ids), count)
+                for engine in engines + eager:
+                    engine.retire_tasks(victims)
+                alive_ids.difference_update(victims)
+            for engine in eager:
+                engine.rebuild_index()
+            for worker in instance.workers[:4]:
+                for lazy, rebuilt in zip(engines, eager):
+                    assert (
+                        [t.task_id for t in lazy.eligible_tasks(worker)]
+                        == [t.task_id for t in rebuilt.eligible_tasks(worker)]
+                    )
+
+
+class TestFinderFacadeDynamics:
+    def test_facade_add_and_retire_delegate(self):
+        instance = make_instance()
+        finder = CandidateFinder(instance, backend="python")
+        worker = Worker.at(1, 50.0, 50.0, accuracy=0.99, capacity=3)
+        finder.add_tasks([Task.at(900, 50.0, 50.0)])
+        assert 900 in {task.task_id for task in finder.candidates(worker)}
+        finder.retire_tasks([900])
+        assert 900 not in {task.task_id for task in finder.candidates(worker)}
+        # eligible_pairs and counts see the same open set.
+        pairs = {t.task_id for _, t in finder.eligible_pairs([worker])}
+        assert 900 not in pairs
+        assert finder.candidate_count_per_task()[900] == 0

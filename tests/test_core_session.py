@@ -98,11 +98,45 @@ class TestSubmitTasks:
         with pytest.raises(ValueError):
             session.submit_tasks([Task.at(existing_id, 1.0, 1.0)])
 
-    def test_task_set_freezes_at_first_arrival(self, tiny_instance):
+    def test_dynamic_solver_accepts_tasks_after_first_arrival(self, tiny_instance):
+        # LAF rides the dynamic candidate engine, so mid-stream submission
+        # is legal: the task joins the live snapshot and reopens completion.
+        from repro.core.worker import Worker
+
         session = LAFSolver().open_session(tiny_instance)
+        session.on_worker(tiny_instance.workers[0])
+        session.submit_tasks([Task.at(7, 2.0, 1.0)])
+        assert session.snapshot().tasks_total == 3
+        for worker in tiny_instance.workers[1:]:
+            session.on_worker(worker)
+        # The original capacity budget exactly covers the two base tasks,
+        # so the late task keeps the session open...
+        assert not session.is_complete
+        # ...until later arrivals serve it through the live snapshot.
+        for index in range(7, 13):
+            session.on_worker(
+                Worker.at(index, 2.0, 1.0, accuracy=0.9, capacity=2)
+            )
+            if session.is_complete:
+                break
+        result = session.result()
+        assert result.completed
+        assert any(a.task_id == 7 for a in result.arrangement)
+
+    def test_replay_session_still_freezes_at_first_arrival(self, tiny_instance):
+        # Offline plans are computed for a fixed future: mid-stream tasks
+        # must keep being refused.
+        session = MCFLTCSolver().open_session(tiny_instance)
         session.on_worker(tiny_instance.workers[0])
         with pytest.raises(SessionStateError):
             session.submit_tasks([Task.at(7, 2.0, 1.0)])
+
+    def test_mid_stream_duplicate_task_ids_rejected(self, tiny_instance):
+        session = LAFSolver().open_session(tiny_instance)
+        session.on_worker(tiny_instance.workers[0])
+        existing_id = tiny_instance.tasks[0].task_id
+        with pytest.raises(ValueError):
+            session.submit_tasks([Task.at(existing_id, 1.0, 1.0)])
 
 
 class TestReplaySession:

@@ -35,9 +35,13 @@ def _relative_links(path: Path):
 
 
 def test_docs_exist():
+    assert (REPO_ROOT / "docs" / "index.md").is_file()
     assert (REPO_ROOT / "docs" / "architecture.md").is_file()
     assert (REPO_ROOT / "docs" / "flow_kernel.md").is_file()
-    assert len(DOC_FILES) >= 3  # README + the two architecture docs
+    assert (REPO_ROOT / "docs" / "candidates.md").is_file()
+    assert (REPO_ROOT / "docs" / "sessions.md").is_file()
+    # README + index + the four subsystem docs, all in the link matrix.
+    assert len(DOC_FILES) >= 6
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))

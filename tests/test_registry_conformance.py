@@ -55,9 +55,18 @@ class TestRegistryConformance:
         assert after.max_latency == result.max_latency
         assert after.complete == session.is_complete
 
-        # The task set freezes once the first worker has arrived.
-        with pytest.raises(SessionStateError):
+        # Mid-stream submission is part of the protocol: dynamic solvers
+        # absorb the task into their live snapshot (reopening completion),
+        # everything else refuses with SessionStateError.
+        solver = build_solver(name)
+        if getattr(solver, "supports_dynamic_tasks", False):
+            tasks_before = session.snapshot().tasks_total
             session.submit_tasks([Task.at(99, 0.0, 0.0)])
+            assert session.snapshot().tasks_total == tasks_before + 1
+            assert not session.is_complete
+        else:
+            with pytest.raises(SessionStateError):
+                session.submit_tasks([Task.at(99, 0.0, 0.0)])
 
     def test_solve_and_session_drive_agree(self, name, tiny_instance):
         solved = build_solver(name).solve(tiny_instance)
