@@ -64,6 +64,7 @@ class AAMSolver(OnlineSolver):
 
     name = "AAM"
     supports_dynamic_tasks = True
+    supports_task_expiry = True
 
     def __init__(
         self, use_spatial_index: bool = True, candidates: Optional[str] = None
@@ -200,6 +201,42 @@ class AAMSolver(OnlineSolver):
             heapq.heappush(self._need_heap, (-delta, position))
         self._uncompleted_count += len(tasks)
 
+    def expire_tasks(self, task_ids: Sequence[int]) -> List[int]:
+        """Abandon overdue tasks and unwind them from the running statistics.
+
+        Each expired task leaves the arrangement's open set (abandoned, no
+        further assignments) and the candidate snapshot (tombstoned), and
+        its remaining need is subtracted from the incremental
+        remaining-``Acc*`` sum and uncompleted count — the same bookkeeping
+        a completion performs, so ``avg``/``maxRemain`` keep describing
+        exactly the live open tasks.  Stale heap entries for the expired
+        positions are skipped lazily by the ``alive`` check in
+        :meth:`_current_max_remaining`.  Returns the ids actually expired
+        (completed and already-expired ids are skipped).
+        """
+        if self._instance is None or self._arrangement is None or self._candidates is None:
+            raise RuntimeError("start() must be called before expire_tasks()")
+        arrangement = self._arrangement
+        engine = self._candidates.engine
+        position_of = engine.position_of
+        expired: List[int] = []
+        for task_id in task_ids:
+            if task_id not in position_of:
+                raise KeyError(f"task id {task_id} is not in the snapshot")
+            if arrangement.is_task_abandoned(task_id):
+                continue
+            if arrangement.is_task_complete(task_id):
+                continue
+            expired.append(task_id)
+        if expired:
+            arrangement.abandon_tasks(expired)
+            self._candidates.retire_tasks(expired)
+            for task_id in expired:
+                position = position_of[task_id]
+                self._add_to_sum(-float(self._need[position]))
+                self._uncompleted_count -= 1
+        return expired
+
     # ---------------------------------------------------------------- observe
 
     def observe(self, worker: Worker) -> List[Assignment]:
@@ -230,10 +267,13 @@ class AAMSolver(OnlineSolver):
             1.0, abs(avg), self._abs_update_total / instance.capacity
         )
         if abs(avg - max_remain) <= band:
+            # Expired (abandoned) tasks are excluded exactly like completed
+            # ones: the incremental sum dropped their need at expiry.
             avg = sum(
                 arrangement.remaining_of(task.task_id)
                 for task in instance.tasks
                 if not arrangement.is_task_complete(task.task_id)
+                and not arrangement.is_task_abandoned(task.task_id)
             ) / instance.capacity
         use_lgf = avg >= max_remain
         if use_lgf:

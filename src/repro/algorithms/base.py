@@ -138,6 +138,25 @@ class OnlineSolver(Solver):
     #: Dynamic solvers implement :meth:`add_tasks`; the default refuses.
     supports_dynamic_tasks: bool = False
 
+    #: Whether the solver can expire (abandon) live tasks mid-stream.
+    #: Expiry-capable solvers implement :meth:`expire_tasks`.
+    supports_task_expiry: bool = False
+
+    def expire_tasks(self, task_ids: List[int]) -> List[int]:
+        """Expire tasks whose deadline passed (expiry-capable solvers override).
+
+        Called by a live session's ``expire_tasks``.  An override must
+        abandon the tasks in the arrangement (they stop blocking
+        completion) and tombstone them in the candidate snapshot (they
+        vanish from every later query), then return the ids it actually
+        expired — already-completed and already-expired ids are skipped,
+        so the return value is the honest abandonment count for
+        latency-vs-abandonment reporting.
+        """
+        raise NotImplementedError(
+            f"solver {self.name!r} does not support expiring tasks mid-stream"
+        )
+
     def add_tasks(self, tasks: List[Task]) -> None:
         """Post additional tasks mid-stream (dynamic solvers override).
 

@@ -52,6 +52,7 @@ class LAFSolver(OnlineSolver):
 
     name = "LAF"
     supports_dynamic_tasks = True
+    supports_task_expiry = True
 
     def __init__(
         self, use_spatial_index: bool = True, candidates: Optional[str] = None
@@ -96,6 +97,33 @@ class LAFSolver(OnlineSolver):
         self._instance.add_tasks(tasks)
         self._arrangement.add_tasks(tasks)
         self._candidates.add_tasks(tasks)
+
+    def expire_tasks(self, task_ids: Sequence[int]) -> List[int]:
+        """Abandon overdue tasks (the TTL sweep path); return the expired ids.
+
+        Expired tasks are abandoned in the arrangement (they stop blocking
+        completion, keep their partial quality, and refuse further
+        assignments) and tombstoned in the candidate snapshot (they vanish
+        from every later ``topk`` query without a rebuild).  Completed and
+        already-expired ids are skipped; unknown ids raise ``KeyError``.
+        """
+        if self._instance is None or self._arrangement is None or self._candidates is None:
+            raise RuntimeError("start() must be called before expire_tasks()")
+        arrangement = self._arrangement
+        position_of = self._candidates.engine.position_of
+        expired: List[int] = []
+        for task_id in task_ids:
+            if task_id not in position_of:
+                raise KeyError(f"task id {task_id} is not in the snapshot")
+            if arrangement.is_task_abandoned(task_id):
+                continue
+            if arrangement.is_task_complete(task_id):
+                continue
+            expired.append(task_id)
+        if expired:
+            arrangement.abandon_tasks(expired)
+            self._candidates.retire_tasks(expired)
+        return expired
 
     def observe(self, worker: Worker) -> List[Assignment]:
         """Assign the K largest-``Acc*`` uncompleted tasks to ``worker``."""

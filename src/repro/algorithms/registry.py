@@ -46,6 +46,10 @@ class SolverCapabilities:
         Accepts tasks posted after serving started: the session's
         ``submit_tasks`` stays legal mid-stream because the solver's
         candidate state rides the incremental engine.
+    task_expiry:
+        Can abandon live tasks mid-stream: the session's ``expire_tasks``
+        (deadline/TTL sweep) is legal because the solver retires tasks
+        through the engine's tombstone mask.
     supports_batch:
         Processes workers in tunable batches (exposes ``batch_multiplier``).
     randomized:
@@ -56,6 +60,7 @@ class SolverCapabilities:
 
     online: bool = False
     dynamic_tasks: bool = False
+    task_expiry: bool = False
     supports_batch: bool = False
     randomized: bool = False
     exact: bool = False
@@ -67,6 +72,7 @@ class SolverCapabilities:
             for flag in (
                 "online",
                 "dynamic_tasks",
+                "task_expiry",
                 "supports_batch",
                 "randomized",
                 "exact",
@@ -128,6 +134,7 @@ def _infer_capabilities(
     return SolverCapabilities(
         online=bool(getattr(factory, "is_online", False)),
         dynamic_tasks=bool(getattr(factory, "supports_dynamic_tasks", False)),
+        task_expiry=bool(getattr(factory, "supports_task_expiry", False)),
         supports_batch="batch_multiplier" in parameters,
         randomized="seed" in parameters,
     )

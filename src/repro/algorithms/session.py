@@ -97,14 +97,18 @@ class _SolverSession(Session):
             )
         arrangement = self.arrangement
         total = len(self._instance.tasks)
+        abandoned = len(arrangement.abandoned_tasks)
         return SessionSnapshot(
             algorithm=self.algorithm,
             workers_observed=self._observed,
             num_assignments=len(arrangement),
             tasks_total=total,
-            tasks_completed=total - len(arrangement.uncompleted_tasks()),
+            tasks_completed=(
+                total - len(arrangement.uncompleted_tasks()) - abandoned
+            ),
             max_latency=arrangement.max_latency,
             complete=self.is_complete,
+            tasks_abandoned=abandoned,
         )
 
     # ------------------------------------------------------------ internals
@@ -233,6 +237,23 @@ class OnlineSolverSession(_SolverSession):
             )
         self._check_binding()
         self._online.add_tasks(tasks)
+
+    def expire_tasks(self, task_ids: Sequence[int]) -> List[int]:
+        """Expire overdue tasks through an expiry-capable solver.
+
+        Activates the session first (a TTL sweep may fire before the first
+        routed arrival), then abandons the tasks in the solver's live
+        arrangement/candidate snapshot.  See
+        :meth:`repro.core.session.Session.expire_tasks` for the contract.
+        """
+        if not self._online.supports_task_expiry:
+            raise SessionStateError(
+                f"session over solver {self._online.name!r} cannot expire "
+                "tasks: the solver does not support mid-stream task expiry"
+            )
+        self._activate()
+        self._check_binding()
+        return self._online.expire_tasks(list(task_ids))
 
     def result(self) -> SolveResult:
         self._activate()

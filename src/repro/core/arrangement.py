@@ -76,6 +76,7 @@ class Arrangement:
         self._workers_by_task: Dict[int, List[int]] = {
             task.task_id: [] for task in tasks
         }
+        self._abandoned: Set[int] = set()
         self._max_index_used = 0
 
     # ------------------------------------------------------------------ state
@@ -130,6 +131,40 @@ class Arrangement:
             self._accumulated[task.task_id] = 0.0
             self._workers_by_task[task.task_id] = []
 
+    def abandon_tasks(self, task_ids: Sequence[int]) -> None:
+        """Mark tasks as expired: they no longer block completion.
+
+        The paper's stream model lets tasks carry deadlines — a task whose
+        deadline passes before it accumulates ``delta`` is *abandoned*, not
+        failed-forever-blocking: it keeps whatever quality it gathered (the
+        invariable constraint still forbids removing assignments) but stops
+        counting toward :meth:`is_complete` / :meth:`uncompleted_tasks`.
+        Abandoning an already-abandoned task is a no-op; abandoning a
+        *completed* task is rejected (it finished — there is nothing to
+        abandon, and reporting must not reclassify it).  Unknown ids raise
+        ``KeyError``.  Further :meth:`assign` calls on an abandoned task
+        are refused: an expired task must not receive new work.
+        """
+        incoming = list(task_ids)
+        for task_id in incoming:
+            if task_id not in self._tasks:
+                raise KeyError(f"task {task_id} is not part of this instance")
+            if task_id not in self._abandoned and self.is_task_complete(task_id):
+                raise ValueError(
+                    f"task {task_id} already reached the quality threshold; "
+                    "completed tasks cannot be abandoned"
+                )
+        self._abandoned.update(incoming)
+
+    def is_task_abandoned(self, task_id: int) -> bool:
+        """Whether ``task_id`` was expired via :meth:`abandon_tasks`."""
+        return task_id in self._abandoned
+
+    @property
+    def abandoned_tasks(self) -> List[int]:
+        """Ids of expired tasks, in ascending order."""
+        return sorted(self._abandoned)
+
     def workers_of(self, task_id: int) -> List[int]:
         """Arrival indices of the workers assigned to ``task_id``."""
         return list(self._workers_by_task[task_id])
@@ -147,11 +182,18 @@ class Arrangement:
         return self._accumulated[task_id] >= self._delta - tolerance
 
     def uncompleted_tasks(self, tolerance: float = 1e-9) -> List[int]:
-        """Task ids that have not yet reached the quality threshold."""
+        """Task ids that still need quality: neither completed nor abandoned."""
+        if not self._abandoned:
+            return [
+                task_id
+                for task_id, value in self._accumulated.items()
+                if value < self._delta - tolerance
+            ]
+        abandoned = self._abandoned
         return [
             task_id
             for task_id, value in self._accumulated.items()
-            if value < self._delta - tolerance
+            if value < self._delta - tolerance and task_id not in abandoned
         ]
 
     def is_complete(self, tolerance: float = 1e-9) -> bool:
@@ -190,6 +232,11 @@ class Arrangement:
         """
         if task.task_id not in self._tasks:
             raise KeyError(f"task {task.task_id} is not part of this instance")
+        if task.task_id in self._abandoned:
+            raise KeyError(
+                f"task {task.task_id} expired before completion; abandoned "
+                "tasks cannot receive new assignments"
+            )
         pair = (worker.index, task.task_id)
         if pair in self._pairs:
             raise DuplicateAssignment(
@@ -220,7 +267,7 @@ class Arrangement:
 
     def can_assign(self, worker: Worker, task: Task) -> bool:
         """Whether :meth:`assign` would succeed for this pair."""
-        if task.task_id not in self._tasks:
+        if task.task_id not in self._tasks or task.task_id in self._abandoned:
             return False
         if (worker.index, task.task_id) in self._pairs:
             return False
@@ -262,7 +309,7 @@ class Arrangement:
                 )
 
         for task_id, value in accumulated.items():
-            if value < self._delta - tolerance:
+            if value < self._delta - tolerance and task_id not in self._abandoned:
                 violations.append(
                     f"task {task_id} accumulated {value:.4f} < delta {self._delta:.4f}"
                 )
@@ -276,7 +323,10 @@ class Arrangement:
             "max_latency": float(self.max_latency),
             "workers_used": float(len(self._load)),
             "tasks_completed": float(
-                len(self._tasks) - len(self.uncompleted_tasks())
+                len(self._tasks)
+                - len(self.uncompleted_tasks())
+                - len(self._abandoned)
             ),
+            "tasks_abandoned": float(len(self._abandoned)),
             "tasks_total": float(len(self._tasks)),
         }

@@ -67,11 +67,15 @@ class SessionSnapshot:
     tasks_completed: int
     max_latency: int
     complete: bool
+    #: Tasks expired via :meth:`Session.expire_tasks` (deadline passed
+    #: before the quality threshold was reached).  Abandoned tasks count
+    #: neither as completed nor as remaining.
+    tasks_abandoned: int = 0
 
     @property
     def tasks_remaining(self) -> int:
-        """Tasks that have not yet reached the quality threshold."""
-        return self.tasks_total - self.tasks_completed
+        """Open tasks: neither completed nor abandoned."""
+        return self.tasks_total - self.tasks_completed - self.tasks_abandoned
 
     def summary(self) -> Dict[str, float]:
         """Flat numbers for logs and service metrics."""
@@ -80,6 +84,7 @@ class SessionSnapshot:
             "assignments": float(self.num_assignments),
             "tasks_total": float(self.tasks_total),
             "tasks_completed": float(self.tasks_completed),
+            "tasks_abandoned": float(self.tasks_abandoned),
             "max_latency": float(self.max_latency),
             "complete": float(self.complete),
         }
@@ -118,6 +123,33 @@ class Session(abc.ABC):
         ValueError
             If a submitted task id is already posted.
         """
+
+    def expire_tasks(self, task_ids: Sequence[int]) -> List[int]:
+        """Expire overdue tasks (the deadline/TTL sweep); return expired ids.
+
+        Expired tasks are *abandoned*: they keep whatever quality they
+        accumulated, stop blocking completion, refuse further assignments
+        and vanish from every candidate query (the engine's tombstone
+        retirement).  Already-completed and already-expired ids are
+        skipped, so the returned list is the honest abandonment increment
+        for latency-vs-abandonment reporting.
+
+        Legal for sessions over expiry-capable online solvers
+        (``supports_task_expiry``); the default — replay sessions over
+        offline plans, non-dynamic online solvers — refuses.
+
+        Raises
+        ------
+        SessionStateError
+            If the serving solver cannot abandon live tasks (an offline
+            replay plan was computed for a fixed task set).
+        KeyError
+            If a task id was never posted to the session.
+        """
+        raise SessionStateError(
+            f"session over solver {self.algorithm!r} cannot expire tasks: "
+            "the solver does not support mid-stream task expiry"
+        )
 
     @abc.abstractmethod
     def on_worker(self, worker: Worker) -> List[Assignment]:

@@ -1,14 +1,21 @@
 """Service layer: serving many LTC instances from one worker stream.
 
-This package is the first step toward the roadmap's heavy-traffic serving
-story.  It builds on the incremental :class:`~repro.core.session.Session`
-protocol: the :class:`LTCDispatcher` multiplexes many concurrent named
-sessions, routes each arriving worker to the sessions it is eligible for
-(a geographic proximity test under the paper's sigmoid accuracy model),
-and aggregates throughput/latency metrics across the fleet of sessions.
+This package is the roadmap's heavy-traffic serving story.  It builds on
+the incremental :class:`~repro.core.session.Session` protocol: the
+:class:`LTCDispatcher` multiplexes many concurrent named sessions, routes
+each arriving worker to the sessions it is eligible for (a geographic
+proximity test under the paper's sigmoid accuracy model), and aggregates
+throughput/latency metrics across the fleet of sessions.
+
+On top of it, :mod:`repro.service.sharding` partitions campaigns and
+traffic geographically — one dispatcher per shard behind a bounded,
+backpressure-aware arrival queue (:class:`ShardedDispatcher`) — and
+:mod:`repro.service.loadgen` generates seeded, replayable multi-city
+worker streams for load testing (``benchmarks/bench_dispatch_scale.py``).
 
 See ``examples/dispatch_service.py`` for an end-to-end scenario serving
-three concurrent campaigns from a single merged check-in stream.
+concurrent campaigns from a single merged check-in stream, and
+``docs/dispatch.md`` for the sharded runtime.
 """
 
 from repro.service.dispatcher import (
@@ -17,7 +24,21 @@ from repro.service.dispatcher import (
     SessionStatus,
     UnknownSessionError,
 )
+from repro.service.loadgen import (
+    BurstWindow,
+    ReplayConfig,
+    ReplayWorkload,
+    build_workload,
+)
 from repro.service.metrics import DispatcherMetrics
+from repro.service.sharding import (
+    BoundedArrivalQueue,
+    QueueClosedError,
+    ShardAffinityError,
+    ShardedDispatcher,
+    ShardPlan,
+    ShardStatus,
+)
 
 __all__ = [
     "LTCDispatcher",
@@ -25,4 +46,14 @@ __all__ = [
     "DispatcherMetrics",
     "DuplicateSessionError",
     "UnknownSessionError",
+    "ShardPlan",
+    "ShardedDispatcher",
+    "ShardStatus",
+    "ShardAffinityError",
+    "BoundedArrivalQueue",
+    "QueueClosedError",
+    "ReplayConfig",
+    "ReplayWorkload",
+    "BurstWindow",
+    "build_workload",
 ]

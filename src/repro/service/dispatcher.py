@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.algorithms.base import Solver, SolveResult
 from repro.algorithms.registry import build_solver
@@ -127,6 +127,11 @@ class LTCDispatcher:
         routing decision is a bulk ``has_candidates`` query per arrival
         per open session, so the vectorized backend is what keeps the
         dispatch hot path flat under heavy traffic.
+    clock:
+        Monotonic time source used for the ``busy_seconds`` metric;
+        defaults to :func:`time.perf_counter`.  Injectable so tests can
+        pin metric timing and so a sharded deployment can hand every
+        per-shard dispatcher the same clock.
     """
 
     def __init__(
@@ -134,11 +139,13 @@ class LTCDispatcher:
         default_solver: SolverSpecLike = "AAM",
         keep_streams: bool = False,
         candidates: Optional[str] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         validate_candidate_backend_name(candidates)
         self._default_solver = default_solver
         self._keep_streams = keep_streams
         self._candidates_backend = candidates
+        self._clock: Callable[[], float] = clock if clock is not None else time.perf_counter
         self._sessions: Dict[str, _ManagedSession] = {}
         self._metrics = DispatcherMetrics()
         self._auto_id = 0
@@ -230,6 +237,28 @@ class LTCDispatcher:
             self._metrics.sessions_reopened += 1
         return session_id
 
+    def expire_tasks(self, session_id: str, task_ids: Sequence[int]) -> List[int]:
+        """Expire overdue tasks in an open session; return the expired ids.
+
+        Delegates to :meth:`~repro.core.session.Session.expire_tasks` (legal
+        for sessions over expiry-capable online solvers) and retires the
+        same tasks from the dispatcher's routing snapshot, so arrivals near
+        only-expired tasks stop being routed to the session.  A session
+        whose last open tasks all expire becomes complete — abandonment,
+        like completion, stops it from receiving further traffic.  The
+        returned list contains only honestly-abandoned ids (completed and
+        already-expired ids offered to the sweep are skipped).
+        """
+        managed = self._managed(session_id)
+        expired = managed.session.expire_tasks(list(task_ids))
+        if expired:
+            managed.candidates.retire_tasks(expired)
+            self._metrics.tasks_expired += len(expired)
+            if not managed.complete and managed.session.is_complete:
+                managed.complete = True
+                self._metrics.sessions_completed += 1
+        return expired
+
     @property
     def session_ids(self) -> List[str]:
         """Ids of all open (not yet closed) sessions, in submission order."""
@@ -256,7 +285,7 @@ class LTCDispatcher:
         session the worker reached, possibly with an empty assignment list
         when the session's solver declined to use the worker.
         """
-        started = time.perf_counter()
+        started = self._clock()
         self._metrics.workers_fed += 1
         deliveries: Dict[str, List[Assignment]] = {}
         for managed in self._sessions.values():
@@ -273,7 +302,7 @@ class LTCDispatcher:
                 self._metrics.sessions_completed += 1
         if not deliveries:
             self._metrics.workers_unrouted += 1
-        self._metrics.busy_seconds += time.perf_counter() - started
+        self._metrics.busy_seconds += self._clock() - started
         return deliveries
 
     def feed_stream(self, workers, stop_when_all_complete: bool = True) -> int:
@@ -308,6 +337,10 @@ class LTCDispatcher:
             )
             for session_id, managed in self._sessions.items()
         }
+
+    def instance_of(self, session_id: str) -> LTCInstance:
+        """The instance an open session serves."""
+        return self._managed(session_id).instance
 
     def routed_stream(self, session_id: str) -> List[Worker]:
         """The re-indexed sub-stream delivered to a session so far.

@@ -1,0 +1,274 @@
+"""Replayable multi-city worker streams for load-testing the dispatch layer.
+
+The sharded dispatcher's scaling claims need traffic that looks like the
+paper's setting at platform scale: many cities, each hosting several
+campaigns, sharing one merged stream of checking-in workers whose rate
+breathes (diurnal cycles) and spikes (bursts biased toward a hot city).
+:func:`build_workload` produces exactly that from a single seed — the same
+:class:`ReplayConfig` always yields the same campaigns and the same worker
+sequence, so a run can be replayed bit-for-bit on any dispatcher
+configuration and the results compared byte-for-byte.
+
+Cities sit on a coarse grid with spacing far larger than a city's radius,
+so each campaign's eligibility reach stays inside its city's neighbourhood
+— the geometry that lets a :class:`~repro.service.sharding.ShardPlan` pin
+campaigns to geo shards.  Workers check in near a city chosen per arrival
+(uniformly, except during bursts), at a position uniform in the city disk
+scaled slightly beyond the task extent so a realistic fraction of arrivals
+is eligible for nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True)
+class BurstWindow:
+    """A traffic spike: a stream fraction window, a hot city, a multiplier.
+
+    During the window ``[start, end)`` (fractions of the whole stream) the
+    arrival intensity is multiplied by ``intensity`` and the hot city's
+    selection weight by ``city_bias`` — the flash-crowd shape that stresses
+    one shard's queue while the others idle.
+    """
+
+    start: float
+    end: float
+    hot_city: int
+    intensity: float = 3.0
+    city_bias: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start < self.end <= 1.0:
+            raise ValueError("burst window must satisfy 0 <= start < end <= 1")
+        if self.intensity <= 0 or self.city_bias <= 0:
+            raise ValueError("burst intensity and city bias must be positive")
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Everything that determines a replayable workload, seed included.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; equal configs generate equal workloads.
+    city_cols / city_rows / city_spacing / city_radius:
+        Cities sit at the centres of a ``city_cols x city_rows`` grid of
+        ``city_spacing``-sized cells; tasks land within ``city_radius`` of
+        a city centre (keep ``city_radius + d_max`` well under half the
+        spacing so campaigns pin to geo shards).
+    campaigns_per_city / tasks_per_campaign:
+        Campaign fan-out.  Task ids are globally unique across campaigns.
+    num_workers:
+        Length of the merged arrival stream.
+    worker_spread:
+        Worker check-ins are uniform within ``worker_spread x city_radius``
+        of the chosen city's centre — values above 1 make some arrivals
+        eligible for nothing (the unrouted fraction).
+    diurnal_amplitude:
+        Relative amplitude of the sinusoidal day cycle modulating arrival
+        intensity (0 disables it); ``diurnal_cycles`` full cycles span the
+        stream.
+    bursts:
+        Optional :class:`BurstWindow` spikes layered on the base intensity.
+    error_rate / capacity / accuracy_range / d_max:
+        Per-campaign LTC parameters and the worker accuracy distribution.
+    """
+
+    seed: int = 20180416
+    city_cols: int = 2
+    city_rows: int = 2
+    city_spacing: float = 1000.0
+    city_radius: float = 60.0
+    campaigns_per_city: int = 2
+    tasks_per_campaign: int = 8
+    num_workers: int = 10_000
+    worker_spread: float = 1.6
+    diurnal_amplitude: float = 0.5
+    diurnal_cycles: float = 2.0
+    bursts: Tuple[BurstWindow, ...] = ()
+    error_rate: float = 0.2
+    capacity: int = 3
+    accuracy_range: Tuple[float, float] = (0.72, 0.98)
+    d_max: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.city_cols < 1 or self.city_rows < 1:
+            raise ValueError("need at least a 1x1 city grid")
+        if self.num_workers < 1:
+            raise ValueError("need at least one worker arrival")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+        for burst in self.bursts:
+            if not 0 <= burst.hot_city < self.city_cols * self.city_rows:
+                raise ValueError(
+                    f"burst hot_city {burst.hot_city} out of range for "
+                    f"{self.city_cols * self.city_rows} cities"
+                )
+
+    @property
+    def num_cities(self) -> int:
+        return self.city_cols * self.city_rows
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """The serving region: the full city grid."""
+        return BoundingBox(
+            0.0, 0.0,
+            self.city_cols * self.city_spacing,
+            self.city_rows * self.city_spacing,
+        )
+
+    def city_center(self, city: int) -> Point:
+        """Centre of city ``city`` (row-major over the city grid)."""
+        if not 0 <= city < self.num_cities:
+            raise ValueError(f"city {city} out of range 0..{self.num_cities - 1}")
+        col = city % self.city_cols
+        row = city // self.city_cols
+        return Point(
+            (col + 0.5) * self.city_spacing,
+            (row + 0.5) * self.city_spacing,
+        )
+
+
+@dataclass(frozen=True)
+class ReplayWorkload:
+    """A generated workload: campaigns plus a replayable worker stream.
+
+    ``campaigns`` are ready to :meth:`submit_instance`;
+    :meth:`worker_stream` regenerates the identical arrival sequence on
+    every call (it re-derives its generator from the config seed), so the
+    workload object can drive any number of dispatcher configurations
+    bit-for-bit identically.
+    """
+
+    config: ReplayConfig
+    campaigns: List[LTCInstance] = field(compare=False)
+    #: ``campaign_city[i]`` is the city index campaign ``i`` belongs to.
+    campaign_city: List[int] = field(compare=False)
+
+    def worker_stream(self) -> Iterator[Worker]:
+        """Yield the merged arrival stream (identical on every call)."""
+        return _generate_workers(self.config)
+
+    def workers(self) -> List[Worker]:
+        """The full stream materialised (convenience for small workloads)."""
+        return list(self.worker_stream())
+
+
+def _point_in_disk(rng: random.Random, center: Point, radius: float) -> Point:
+    """Uniform point in the disk around ``center`` (rejection-free)."""
+    angle = rng.uniform(0.0, 2.0 * math.pi)
+    distance = radius * math.sqrt(rng.random())
+    return Point(
+        center.x + distance * math.cos(angle),
+        center.y + distance * math.sin(angle),
+    )
+
+
+def build_workload(config: ReplayConfig) -> ReplayWorkload:
+    """Generate the campaigns of a :class:`ReplayConfig` (deterministic).
+
+    Campaign instances get globally unique task ids (posting order) and a
+    single placeholder worker at the city centre —
+    :class:`~repro.core.instance.LTCInstance` requires at least one worker
+    and takes the capacity ``K`` from the minimum worker capacity, but
+    dispatch sessions are fed routed live traffic, never the instance's
+    own worker list.
+    """
+    # String seeds hash deterministically in random.Random (sha512 path);
+    # tuple seeds would fall back to randomized str hashing per process.
+    rng = random.Random(f"{config.seed}-campaigns")
+    campaigns: List[LTCInstance] = []
+    campaign_city: List[int] = []
+    next_task_id = 0
+    for city in range(config.num_cities):
+        center = config.city_center(city)
+        for slot in range(config.campaigns_per_city):
+            tasks = []
+            for _ in range(config.tasks_per_campaign):
+                tasks.append(
+                    Task(
+                        task_id=next_task_id,
+                        location=_point_in_disk(rng, center, config.city_radius),
+                        metadata={"city": city},
+                    )
+                )
+                next_task_id += 1
+            placeholder = Worker(
+                index=1,
+                location=center,
+                accuracy=max(config.accuracy_range[0], 0.66),
+                capacity=config.capacity,
+            )
+            campaigns.append(
+                LTCInstance(
+                    tasks=tasks,
+                    workers=[placeholder],
+                    error_rate=config.error_rate,
+                    name=f"city{city}-campaign{slot}",
+                )
+            )
+            campaign_city.append(city)
+    return ReplayWorkload(
+        config=config, campaigns=campaigns, campaign_city=campaign_city
+    )
+
+
+def _city_weights(config: ReplayConfig, fraction: float) -> List[float]:
+    weights = [1.0] * config.num_cities
+    for burst in config.bursts:
+        if burst.start <= fraction < burst.end:
+            weights[burst.hot_city] *= burst.city_bias
+    return weights
+
+
+def _intensity(config: ReplayConfig, fraction: float) -> float:
+    intensity = 1.0 + config.diurnal_amplitude * math.sin(
+        2.0 * math.pi * config.diurnal_cycles * fraction
+    )
+    for burst in config.bursts:
+        if burst.start <= fraction < burst.end:
+            intensity *= burst.intensity
+    return max(intensity, 1e-6)
+
+
+def _generate_workers(config: ReplayConfig) -> Iterator[Worker]:
+    """The arrival process: inhomogeneous rate, burst-biased city choice.
+
+    Arrival *timestamps* accumulate exponential gaps whose rate follows the
+    diurnal/burst intensity (so ``arrival_time`` is a realistic clock);
+    arrival *order* is the index stream ``1..num_workers`` the algorithms
+    consume.  Everything derives from ``config.seed``, making the stream
+    replayable.
+    """
+    rng = random.Random(f"{config.seed}-workers")
+    low, high = config.accuracy_range
+    spread = config.worker_spread * config.city_radius
+    clock = 0.0
+    for index in range(1, config.num_workers + 1):
+        fraction = (index - 1) / config.num_workers
+        intensity = _intensity(config, fraction)
+        clock += rng.expovariate(intensity)
+        weights = _city_weights(config, fraction)
+        city = rng.choices(range(config.num_cities), weights=weights)[0]
+        center = config.city_center(city)
+        yield Worker(
+            index=index,
+            location=_point_in_disk(rng, center, spread),
+            accuracy=rng.uniform(max(low, 0.66), high),
+            capacity=config.capacity,
+            arrival_time=clock,
+            metadata={"city": city},
+        )

@@ -4,12 +4,18 @@ The dispatcher serves many sessions from one worker stream; these counters
 answer the operational questions — how much traffic arrived, how much of it
 was routable, how many assignments were committed, and how fast the dispatch
 hot path is running.
+
+Metrics are **mergeable**: a sharded dispatcher runs one
+:class:`~repro.service.LTCDispatcher` per geographic shard, each with its
+own counters, and :meth:`DispatcherMetrics.merged` rolls the per-shard
+objects up into one aggregate view (counters and busy time sum; the
+derived ratios are recomputed over the sums).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable
 
 
 @dataclass
@@ -30,6 +36,11 @@ class DispatcherMetrics:
     tasks_submitted:
         Tasks posted to open sessions after submission (the dynamic
         mid-stream path), across all sessions.
+    tasks_expired:
+        Tasks abandoned by :meth:`~repro.service.LTCDispatcher.expire_tasks`
+        (deadline passed before the quality threshold), across all
+        sessions.  Already-completed ids offered to an expiry sweep are
+        not counted — only honest abandonments.
     workers_fed:
         Arrivals offered to the dispatcher.
     workers_routed:
@@ -41,7 +52,8 @@ class DispatcherMetrics:
     assignments_made:
         Total (worker, task) assignments committed across all sessions.
     busy_seconds:
-        Wall-clock time spent inside the dispatch hot path.
+        Clock time spent inside the dispatch hot path, measured with the
+        dispatcher's injected clock (wall clock by default).
     """
 
     sessions_opened: int = 0
@@ -49,6 +61,7 @@ class DispatcherMetrics:
     sessions_closed: int = 0
     sessions_reopened: int = 0
     tasks_submitted: int = 0
+    tasks_expired: int = 0
     workers_fed: int = 0
     workers_routed: int = 0
     workers_unrouted: int = 0
@@ -69,6 +82,29 @@ class DispatcherMetrics:
             return 0.0
         return self.workers_fed / self.busy_seconds
 
+    def merge(self, other: "DispatcherMetrics") -> "DispatcherMetrics":
+        """Fold another metrics object's counters into this one (in place).
+
+        Every counter (and ``busy_seconds``) sums; the derived
+        ``routed_fraction`` / ``throughput_per_second`` properties then
+        describe the combined traffic.  Returns ``self`` for chaining.
+        """
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["DispatcherMetrics"]) -> "DispatcherMetrics":
+        """A new aggregate over ``parts`` — the per-shard roll-up."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
+
     def summary(self) -> Dict[str, float]:
         """Flat numbers for logs and reports."""
         return {
@@ -77,6 +113,7 @@ class DispatcherMetrics:
             "sessions_closed": float(self.sessions_closed),
             "sessions_reopened": float(self.sessions_reopened),
             "tasks_submitted": float(self.tasks_submitted),
+            "tasks_expired": float(self.tasks_expired),
             "workers_fed": float(self.workers_fed),
             "workers_routed": float(self.workers_routed),
             "workers_unrouted": float(self.workers_unrouted),

@@ -1,0 +1,556 @@
+"""The sharded dispatch runtime: one dispatcher per geographic shard.
+
+:class:`ShardedDispatcher` scales the single-process
+:class:`~repro.service.LTCDispatcher` by partitioning both campaigns and
+worker traffic with a :class:`~repro.service.sharding.ShardPlan`:
+
+* every campaign is pinned to one shard (the grid cell containing its
+  reach box, or the overflow shard — see ``plan.py``);
+* every arriving worker is routed to the geo shard covering its check-in
+  location, plus the overflow shard whenever it has open sessions;
+* each shard runs its own :class:`~repro.service.LTCDispatcher` behind a
+  :class:`~repro.service.sharding.BoundedArrivalQueue`, drained either
+  inline (the ``"serial"`` executor — deterministic, single-threaded) or
+  by a dedicated thread per shard (the ``"thread"`` executor).
+
+**Exactness.**  Because an eligible worker necessarily lies inside the
+campaign's reach box, and the reach box lies inside the campaign's cell,
+the shard covering the worker's location is the only geo shard that could
+route it — so per-session routed sub-streams are *identical* to what the
+single-process dispatcher would deliver, in the same per-session order
+(each session lives on exactly one shard, whose queue is FIFO).  With a
+lossless queue policy the final per-session arrangements are therefore
+byte-identical to a single-process run, under both executors; the
+differential suite enforces this.  Shedding policies (``drop-oldest`` /
+``reject``) trade that guarantee for bounded lag under overload.
+
+**Scaling.**  The single-process dispatcher pays one eligibility probe per
+open session per arrival.  Sharding cuts that to the sessions of one shard
+(plus overflow), so routing work per arrival drops by roughly the shard
+count even single-threaded — that is the honest speedup the benchmark
+measures with the ``"serial"`` executor; the ``"thread"`` executor adds
+pipeline concurrency across shards on top.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.algorithms.base import Solver, SolveResult
+from repro.algorithms.spec import SolverSpecLike
+from repro.core.arrangement import Assignment
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.bbox import BoundingBox
+from repro.service.dispatcher import (
+    DuplicateSessionError,
+    LTCDispatcher,
+    SessionStatus,
+    UnknownSessionError,
+)
+from repro.service.metrics import DispatcherMetrics
+from repro.service.sharding.plan import ShardPlan, tasks_reach_bounds
+from repro.service.sharding.queueing import BoundedArrivalQueue
+
+#: The accepted executor names.
+EXECUTORS = ("serial", "thread")
+
+
+class ShardAffinityError(ValueError):
+    """A campaign (or mid-stream task batch) does not fit its shard's cell."""
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """One shard's state as reported by :meth:`ShardedDispatcher.shard_status`."""
+
+    shard_id: int
+    #: The grid cell this shard covers; ``None`` for the overflow shard.
+    cell: Optional[BoundingBox]
+    session_ids: List[str]
+    metrics: DispatcherMetrics
+    queue_depth: int
+    arrivals_accepted: int
+    arrivals_shed: int
+    arrivals_processed: int
+
+    @property
+    def is_overflow(self) -> bool:
+        return self.cell is None
+
+
+@dataclass
+class _ShardRuntime:
+    """One shard's dispatcher, queue, lock and (optional) drain thread."""
+
+    shard_id: int
+    dispatcher: LTCDispatcher
+    queue: BoundedArrivalQueue
+    #: Serialises dispatcher access between the drain loop and control-plane
+    #: calls (submit/poll/close) arriving from other threads.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    thread: Optional[threading.Thread] = None
+    #: Per-arrival routing latencies (seconds), recorded when enabled.
+    latencies: List[float] = field(default_factory=list)
+    error: Optional[BaseException] = None
+
+
+class ShardedDispatcher:
+    """Serves many campaigns from one worker stream across geographic shards.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`~repro.service.sharding.ShardPlan` partitioning the
+        region.  Every shard in the plan (geo cells + overflow) gets its
+        own :class:`~repro.service.LTCDispatcher`.
+    default_solver / candidates / keep_streams / clock:
+        Forwarded to every per-shard dispatcher (see
+        :class:`~repro.service.LTCDispatcher`); the clock is shared so
+        per-shard busy-time metrics are comparable.
+    executor:
+        ``"serial"`` processes each arrival inline during
+        :meth:`feed_worker` (deterministic; the exact-merge configuration),
+        ``"thread"`` drains each shard's queue on its own thread.
+    queue_capacity / queue_policy:
+        Bound and backpressure policy of every shard's arrival queue (see
+        :class:`~repro.service.sharding.BoundedArrivalQueue`).  Only the
+        lossless ``"block"`` policy preserves byte-identity with a
+        single-process dispatcher.
+    autostart:
+        Start the runtime on construction.  Pass ``False`` to enqueue
+        traffic before any processing happens — tests use this to fill
+        queues past capacity and trigger shed policies deterministically.
+    record_latencies:
+        Record one routing latency sample per processed arrival per shard
+        (for p50/p99 reporting in the load harness).  Off by default to
+        keep memory flat.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        default_solver: SolverSpecLike = "AAM",
+        executor: str = "serial",
+        queue_capacity: int = 1024,
+        queue_policy: str = "block",
+        keep_streams: bool = False,
+        candidates: Optional[str] = None,
+        clock: Optional[Callable[[], float]] = None,
+        autostart: bool = True,
+        record_latencies: bool = False,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{', '.join(EXECUTORS)}"
+            )
+        self._plan = plan
+        self._executor = executor
+        self._clock: Callable[[], float] = (
+            clock if clock is not None else time.perf_counter
+        )
+        self._record_latencies = record_latencies
+        self._shards: Dict[int, _ShardRuntime] = {
+            shard_id: _ShardRuntime(
+                shard_id=shard_id,
+                dispatcher=LTCDispatcher(
+                    default_solver=default_solver,
+                    keep_streams=keep_streams,
+                    candidates=candidates,
+                    clock=self._clock,
+                ),
+                queue=BoundedArrivalQueue(queue_capacity, queue_policy),
+            )
+            for shard_id in plan.shard_ids
+        }
+        self._shard_of_session: Dict[str, int] = {}
+        self._auto_id = 0
+        self._arrivals_offered = 0
+        self._control = threading.Lock()
+        self._started = False
+        self._stopped = False
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self._plan
+
+    @property
+    def executor(self) -> str:
+        return self._executor
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> None:
+        """Start processing queued arrivals (idempotent).
+
+        Under the ``"thread"`` executor this launches one drain thread per
+        shard; under ``"serial"`` it drains any pre-queued backlog inline
+        and marks the runtime live (subsequent :meth:`feed_worker` calls
+        process inline).
+        """
+        if self._stopped:
+            raise RuntimeError("a stopped ShardedDispatcher cannot be restarted")
+        if self._started:
+            return
+        self._started = True
+        if self._executor == "thread":
+            for runtime in self._shards.values():
+                thread = threading.Thread(
+                    target=self._drain_loop,
+                    args=(runtime,),
+                    name=f"shard-{runtime.shard_id}",
+                    daemon=True,
+                )
+                runtime.thread = thread
+                thread.start()
+        else:
+            for runtime in self._shards.values():
+                self._drain_inline(runtime)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every accepted arrival has been processed.
+
+        Under ``"serial"`` any backlog is processed inline first.  Returns
+        whether the queues fully drained within ``timeout`` (always
+        ``True`` for serial).  Re-raises the first error a shard loop hit.
+        """
+        if not self._started:
+            raise RuntimeError("start() the ShardedDispatcher before drain()")
+        if self._executor == "serial":
+            for runtime in self._shards.values():
+                self._drain_inline(runtime)
+        drained = all(
+            runtime.queue.join(timeout=timeout)
+            for runtime in self._shards.values()
+        )
+        self._reraise_shard_errors()
+        return drained
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the runtime: optionally drain, close queues, join threads.
+
+        Idempotent.  After ``stop()`` the control plane (poll/close/result)
+        keeps working, but further arrivals are refused.
+        """
+        if self._stopped:
+            return
+        if drain and self._started:
+            self.drain()
+        self._stopped = True
+        for runtime in self._shards.values():
+            runtime.queue.close()
+        if self._executor == "thread" and self._started:
+            for runtime in self._shards.values():
+                if runtime.thread is not None:
+                    runtime.thread.join()
+        self._reraise_shard_errors()
+
+    def _reraise_shard_errors(self) -> None:
+        for runtime in self._shards.values():
+            if runtime.error is not None:
+                error, runtime.error = runtime.error, None
+                raise error
+
+    # ------------------------------------------------------------- sessions
+
+    def submit_instance(
+        self,
+        instance: LTCInstance,
+        solver: Union[SolverSpecLike, Solver, None] = None,
+        session_id: Optional[str] = None,
+        shard_id: Optional[int] = None,
+    ) -> str:
+        """Open a session for ``instance`` on its shard; return the id.
+
+        The shard is chosen by the plan's reach-box containment rule
+        (:meth:`~repro.service.sharding.ShardPlan.shard_for_instance`)
+        unless ``shard_id`` overrides it — an override naming a geo shard
+        is validated against the campaign's reach box
+        (:class:`ShardAffinityError` if it does not fit that cell), the
+        overflow shard accepts anything.  Session ids are unique across
+        the *whole* runtime, not per shard.
+        """
+        with self._control:
+            if session_id is None:
+                self._auto_id += 1
+                session_id = f"session-{self._auto_id}"
+            if session_id in self._shard_of_session:
+                raise DuplicateSessionError(
+                    f"session id {session_id!r} is already in use"
+                )
+            if shard_id is None:
+                shard_id = self._plan.shard_for_instance(instance)
+            else:
+                if shard_id not in self._shards:
+                    raise ValueError(
+                        f"shard id {shard_id} is not in the plan "
+                        f"(0..{self._plan.overflow_shard})"
+                    )
+                cell = self._plan.cell(shard_id)
+                if cell is not None:
+                    reach = tasks_reach_bounds(instance)
+                    if reach is None or not self._box_within(reach, cell):
+                        raise ShardAffinityError(
+                            f"campaign reach box does not fit shard {shard_id}'s "
+                            "cell; pin it to the overflow shard instead"
+                        )
+            runtime = self._shards[shard_id]
+            with runtime.lock:
+                runtime.dispatcher.submit_instance(
+                    instance, solver=solver, session_id=session_id
+                )
+            self._shard_of_session[session_id] = shard_id
+            return session_id
+
+    def submit_tasks(self, session_id: str, tasks: Sequence[Task]) -> str:
+        """Post additional tasks to an open session mid-stream.
+
+        For a session pinned to a geo shard the new tasks' reach box must
+        still fit the shard's cell — sessions are never migrated live;
+        :class:`ShardAffinityError` otherwise, with the dispatcher state
+        untouched.  Overflow-shard sessions accept any tasks.
+        """
+        runtime = self._runtime_for(session_id)
+        tasks = list(tasks)
+        cell = self._plan.cell(runtime.shard_id)
+        if cell is not None and tasks:
+            with runtime.lock:
+                instance = runtime.dispatcher.instance_of(session_id)
+            reach = tasks_reach_bounds(instance, tasks)
+            if reach is None or not self._box_within(reach, cell):
+                raise ShardAffinityError(
+                    f"mid-stream tasks for session {session_id!r} reach outside "
+                    f"shard {runtime.shard_id}'s cell; sessions are pinned — "
+                    "open a new campaign (or use the overflow shard) instead"
+                )
+        with runtime.lock:
+            return runtime.dispatcher.submit_tasks(session_id, tasks)
+
+    def expire_tasks(self, session_id: str, task_ids: Sequence[int]) -> List[int]:
+        """Expire overdue tasks in an open session (the TTL sweep)."""
+        runtime = self._runtime_for(session_id)
+        with runtime.lock:
+            return runtime.dispatcher.expire_tasks(session_id, task_ids)
+
+    @property
+    def session_ids(self) -> List[str]:
+        """Ids of all open sessions, in submission order across shards."""
+        return list(self._shard_of_session)
+
+    def shard_of(self, session_id: str) -> int:
+        """The shard a session is pinned to."""
+        return self._runtime_for(session_id).shard_id
+
+    @property
+    def all_complete(self) -> bool:
+        """Whether every open session has completed (vacuously true if none)."""
+        return all(
+            runtime.dispatcher.all_complete for runtime in self._shards.values()
+        )
+
+    # ------------------------------------------------------------ streaming
+
+    def feed_worker(self, worker: Worker) -> Optional[Dict[str, List[Assignment]]]:
+        """Route one arrival to its geo shard (and overflow, if populated).
+
+        Under the ``"serial"`` executor (started) the arrival is processed
+        inline and the merged per-session deliveries are returned, exactly
+        like :meth:`LTCDispatcher.feed_worker`.  Under ``"thread"`` — or
+        before :meth:`start` — the arrival is only enqueued and ``None``
+        is returned; results surface through :meth:`poll` /
+        :meth:`close` after :meth:`drain`.
+        """
+        if self._stopped:
+            raise RuntimeError("the ShardedDispatcher is stopped")
+        self._arrivals_offered += 1
+        targets = [self._shards[self._plan.shard_of_point(worker.location)]]
+        overflow = self._shards[self._plan.overflow_shard]
+        if overflow.dispatcher.session_ids and overflow is not targets[0]:
+            targets.append(overflow)
+        for runtime in targets:
+            runtime.queue.put(worker)
+        if self._executor == "serial" and self._started:
+            deliveries: Dict[str, List[Assignment]] = {}
+            for runtime in targets:
+                deliveries.update(self._drain_inline(runtime))
+            return deliveries
+        return None
+
+    def feed_stream(self, workers, stop_when_all_complete: bool = False) -> int:
+        """Feed a whole merged stream; return how many arrivals were offered.
+
+        Early stop on ``all_complete`` is off by default: under the
+        threaded executor completion lags the queues, so checking it
+        per-arrival is racy; enable it only for serial runs that mirror
+        :meth:`LTCDispatcher.feed_stream` semantics.
+        """
+        offered = 0
+        for worker in workers:
+            if stop_when_all_complete and self.all_complete:
+                break
+            self.feed_worker(worker)
+            offered += 1
+        return offered
+
+    @property
+    def arrivals_offered(self) -> int:
+        """Arrivals offered to :meth:`feed_worker` (before any fan-out).
+
+        The honest denominator for aggregate rates: a worker fanned out to
+        its geo shard *and* the overflow shard counts once here but twice
+        in the aggregate ``workers_fed``.
+        """
+        return self._arrivals_offered
+
+    # ----------------------------------------------------------- inspection
+
+    def poll(self) -> Dict[str, SessionStatus]:
+        """Progress snapshots of every open session, across all shards."""
+        statuses: Dict[str, SessionStatus] = {}
+        for runtime in self._shards.values():
+            with runtime.lock:
+                statuses.update(runtime.dispatcher.poll())
+        return statuses
+
+    def shard_status(self) -> List[ShardStatus]:
+        """Per-shard state: sessions, metrics, queue depth and shed counts."""
+        statuses: List[ShardStatus] = []
+        for shard_id, runtime in sorted(self._shards.items()):
+            with runtime.lock:
+                metrics = DispatcherMetrics.merged([runtime.dispatcher.metrics])
+                session_ids = runtime.dispatcher.session_ids
+            statuses.append(
+                ShardStatus(
+                    shard_id=shard_id,
+                    cell=self._plan.cell(shard_id),
+                    session_ids=session_ids,
+                    metrics=metrics,
+                    queue_depth=runtime.queue.size,
+                    arrivals_accepted=runtime.queue.accepted,
+                    arrivals_shed=runtime.queue.shed,
+                    arrivals_processed=runtime.queue.processed,
+                )
+            )
+        return statuses
+
+    @property
+    def metrics(self) -> DispatcherMetrics:
+        """Aggregate roll-up of every shard's counters (a fresh object).
+
+        Counters sum across shards; note ``workers_fed`` counts per-shard
+        deliveries, so divide by :attr:`arrivals_offered` (not
+        ``workers_fed``) for rates over offered traffic whenever the
+        overflow shard is populated.
+        """
+        parts = []
+        for runtime in self._shards.values():
+            with runtime.lock:
+                parts.append(DispatcherMetrics.merged([runtime.dispatcher.metrics]))
+        return DispatcherMetrics.merged(parts)
+
+    @property
+    def shed_total(self) -> int:
+        """Arrivals lost to backpressure across all shard queues."""
+        return sum(runtime.queue.shed for runtime in self._shards.values())
+
+    def routing_latencies(self) -> Dict[int, List[float]]:
+        """Per-shard routing latency samples (``record_latencies=True`` only)."""
+        if not self._record_latencies:
+            raise RuntimeError(
+                "latency samples are not recorded; build the ShardedDispatcher "
+                "with record_latencies=True"
+            )
+        return {
+            shard_id: list(runtime.latencies)
+            for shard_id, runtime in sorted(self._shards.items())
+        }
+
+    def routed_stream(self, session_id: str) -> List[Worker]:
+        """A session's re-indexed sub-stream (``keep_streams=True`` only)."""
+        runtime = self._runtime_for(session_id)
+        with runtime.lock:
+            return runtime.dispatcher.routed_stream(session_id)
+
+    # -------------------------------------------------------------- closing
+
+    def close(self, session_id: str) -> SolveResult:
+        """Finalise one session, remove it, and return its solve result."""
+        runtime = self._runtime_for(session_id)
+        with runtime.lock:
+            result = runtime.dispatcher.close(session_id)
+        with self._control:
+            del self._shard_of_session[session_id]
+        return result
+
+    def close_all(self) -> Dict[str, SolveResult]:
+        """Finalise every open session, in submission order across shards."""
+        return {
+            session_id: self.close(session_id)
+            for session_id in list(self._shard_of_session)
+        }
+
+    # ------------------------------------------------------------ internals
+
+    def _runtime_for(self, session_id: str) -> _ShardRuntime:
+        try:
+            shard_id = self._shard_of_session[session_id]
+        except KeyError:
+            known = ", ".join(self._shard_of_session) or "<none>"
+            raise UnknownSessionError(
+                f"unknown session {session_id!r}; open sessions: {known}"
+            ) from None
+        return self._shards[shard_id]
+
+    @staticmethod
+    def _box_within(inner: BoundingBox, outer: BoundingBox) -> bool:
+        return (
+            outer.min_x <= inner.min_x
+            and outer.min_y <= inner.min_y
+            and inner.max_x <= outer.max_x
+            and inner.max_y <= outer.max_y
+        )
+
+    def _process(self, runtime: _ShardRuntime, worker: Worker):
+        started = self._clock()
+        with runtime.lock:
+            deliveries = runtime.dispatcher.feed_worker(worker)
+        if self._record_latencies:
+            runtime.latencies.append(self._clock() - started)
+        return deliveries
+
+    def _drain_inline(self, runtime: _ShardRuntime) -> Dict[str, List[Assignment]]:
+        """Process a shard's queued backlog on the calling thread."""
+        deliveries: Dict[str, List[Assignment]] = {}
+        while True:
+            worker = runtime.queue.get(timeout=0.0)
+            if worker is None:
+                return deliveries
+            try:
+                deliveries.update(self._process(runtime, worker))
+            finally:
+                runtime.queue.task_done()
+
+    def _drain_loop(self, runtime: _ShardRuntime) -> None:
+        """The per-shard thread body: drain until the queue closes."""
+        while True:
+            worker = runtime.queue.get()
+            if worker is None:
+                return
+            try:
+                self._process(runtime, worker)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via drain/stop
+                if runtime.error is None:
+                    runtime.error = exc
+            finally:
+                runtime.queue.task_done()

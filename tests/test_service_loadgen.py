@@ -1,0 +1,131 @@
+"""Tests for the replayable load generator."""
+
+import pytest
+
+from repro.core.accuracy import SigmoidDistanceAccuracy
+from repro.service.loadgen import BurstWindow, ReplayConfig, build_workload
+from repro.service.sharding import ShardPlan
+
+
+def small_config(**overrides):
+    defaults = dict(
+        seed=11,
+        city_cols=2,
+        city_rows=2,
+        city_spacing=1000.0,
+        city_radius=50.0,
+        campaigns_per_city=2,
+        tasks_per_campaign=5,
+        num_workers=600,
+    )
+    defaults.update(overrides)
+    return ReplayConfig(**defaults)
+
+
+class TestDeterminism:
+    def test_same_config_same_workload(self):
+        first = build_workload(small_config())
+        second = build_workload(small_config())
+        assert [c.tasks for c in first.campaigns] == [
+            c.tasks for c in second.campaigns
+        ]
+        assert first.workers() == second.workers()
+
+    def test_stream_is_replayable_from_the_same_workload(self):
+        workload = build_workload(small_config())
+        assert list(workload.worker_stream()) == list(workload.worker_stream())
+
+    def test_different_seeds_differ(self):
+        first = build_workload(small_config(seed=1))
+        second = build_workload(small_config(seed=2))
+        assert first.workers() != second.workers()
+
+
+class TestCampaigns:
+    def test_shape_and_unique_task_ids(self):
+        workload = build_workload(small_config())
+        assert len(workload.campaigns) == 8
+        all_ids = [
+            t.task_id for c in workload.campaigns for t in c.tasks
+        ]
+        assert len(set(all_ids)) == len(all_ids) == 40
+        assert workload.campaign_city == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_tasks_stay_within_their_city_radius(self):
+        config = small_config()
+        workload = build_workload(config)
+        for campaign, city in zip(workload.campaigns, workload.campaign_city):
+            center = config.city_center(city)
+            for task in campaign.tasks:
+                assert task.location.distance_to(center) <= config.city_radius
+
+    def test_campaigns_pin_to_geo_shards(self):
+        """The generated geometry matches the sharding pinning rule."""
+        config = small_config()
+        workload = build_workload(config)
+        plan = ShardPlan.for_region(config.bounds, cols=2, rows=2)
+        shards = [plan.shard_for_instance(c) for c in workload.campaigns]
+        assert shards == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+class TestStream:
+    def test_indices_and_timestamps_increase(self):
+        workload = build_workload(small_config())
+        workers = workload.workers()
+        assert [w.index for w in workers] == list(range(1, 601))
+        times = [w.arrival_time for w in workers]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_burst_biases_the_hot_city(self):
+        config = small_config(
+            num_workers=4000,
+            bursts=(BurstWindow(0.25, 0.5, hot_city=3, city_bias=50.0),),
+        )
+        workers = build_workload(config).workers()
+        in_burst = [w for w in workers if 1000 <= w.index - 1 < 2000]
+        outside = [w for w in workers if not 1000 <= w.index - 1 < 2000]
+        hot_in = sum(1 for w in in_burst if w.metadata["city"] == 3)
+        hot_out = sum(1 for w in outside if w.metadata["city"] == 3)
+        assert hot_in / len(in_burst) > 0.8
+        assert hot_out / len(outside) < 0.4
+
+    def test_burst_intensity_compresses_arrival_gaps(self):
+        calm = build_workload(small_config(num_workers=2000)).workers()
+        bursty = build_workload(
+            small_config(
+                num_workers=2000,
+                bursts=(BurstWindow(0.4, 0.6, hot_city=0, intensity=10.0),),
+            )
+        ).workers()
+
+        def window_span(workers):
+            inside = [w.arrival_time for w in workers
+                      if 800 <= w.index - 1 < 1200]
+            return inside[-1] - inside[0]
+
+        assert window_span(bursty) < window_span(calm) / 3.0
+
+    def test_workers_clear_the_spam_threshold(self):
+        config = small_config(accuracy_range=(0.5, 0.9))
+        workers = build_workload(config).workers()
+        assert all(w.accuracy >= 0.66 for w in workers)
+
+    def test_accuracy_model_is_the_paper_default(self):
+        workload = build_workload(small_config())
+        assert isinstance(
+            workload.campaigns[0].accuracy_model, SigmoidDistanceAccuracy
+        )
+
+
+class TestValidation:
+    def test_bad_burst_window(self):
+        with pytest.raises(ValueError):
+            BurstWindow(0.5, 0.4, hot_city=0)
+        with pytest.raises(ValueError):
+            small_config(bursts=(BurstWindow(0.1, 0.2, hot_city=99),))
+
+    def test_bad_grid(self):
+        with pytest.raises(ValueError):
+            small_config(city_cols=0)
+        with pytest.raises(ValueError):
+            small_config(diurnal_amplitude=1.5)

@@ -1,0 +1,406 @@
+"""Tests for the geographic sharding runtime (plan, queues, dispatcher)."""
+
+import threading
+
+import pytest
+
+from repro.core.accuracy import ConstantAccuracy, SigmoidDistanceAccuracy
+from repro.core.instance import LTCInstance
+from repro.core.task import Task
+from repro.core.worker import Worker
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.service import (
+    BoundedArrivalQueue,
+    DuplicateSessionError,
+    LTCDispatcher,
+    QueueClosedError,
+    ShardAffinityError,
+    ShardedDispatcher,
+    ShardPlan,
+    UnknownSessionError,
+)
+from repro.service.sharding.plan import instance_reach_radius, tasks_reach_bounds
+
+BOUNDS = BoundingBox(0.0, 0.0, 2000.0, 2000.0)
+
+#: City centres aligned with the cells of a 2x2 plan over BOUNDS.
+CENTERS = [(500.0, 500.0), (1500.0, 500.0), (500.0, 1500.0), (1500.0, 1500.0)]
+
+
+def campaign(cx, cy, tid0=0, num_tasks=3, spread=5.0, **instance_kwargs):
+    tasks = [
+        Task(task_id=tid0 + i, location=Point(cx + spread * i, cy))
+        for i in range(num_tasks)
+    ]
+    workers = [Worker(index=1, location=Point(cx, cy), accuracy=0.9, capacity=2)]
+    instance_kwargs.setdefault("error_rate", 0.2)
+    return LTCInstance(tasks=tasks, workers=workers, **instance_kwargs)
+
+
+def city_stream(num_workers, centers=CENTERS, spread=10.0, seed=0):
+    """A deterministic merged stream cycling through city centres."""
+    workers = []
+    for index in range(1, num_workers + 1):
+        cx, cy = centers[(index + seed) % len(centers)]
+        jitter = (index * 7) % 11 - 5
+        workers.append(
+            Worker(
+                index=index,
+                location=Point(cx + jitter, cy + spread * ((index % 3) - 1) / 3.0),
+                accuracy=0.9,
+                capacity=2,
+            )
+        )
+    return workers
+
+
+class TestShardPlan:
+    def test_grid_geometry_and_ids(self):
+        plan = ShardPlan(BOUNDS, cols=2, rows=2)
+        assert plan.num_geo_shards == 4
+        assert plan.overflow_shard == 4
+        assert plan.num_shards == 5
+        assert plan.cell(plan.overflow_shard) is None
+        cell0 = plan.cell(0)
+        assert (cell0.min_x, cell0.min_y, cell0.max_x, cell0.max_y) == (
+            0.0, 0.0, 1000.0, 1000.0,
+        )
+        # Row-major: shard 1 is east of shard 0, shard 2 is north of it.
+        assert plan.cell(1).min_x == 1000.0
+        assert plan.cell(2).min_y == 1000.0
+        with pytest.raises(ValueError):
+            plan.cell(5)
+
+    def test_shard_of_point_covers_and_clamps(self):
+        plan = ShardPlan(BOUNDS, cols=2, rows=2)
+        assert plan.shard_of_point(Point(10.0, 10.0)) == 0
+        assert plan.shard_of_point(Point(1999.0, 10.0)) == 1
+        assert plan.shard_of_point(Point(10.0, 1999.0)) == 2
+        assert plan.shard_of_point(Point(1500.0, 1500.0)) == 3
+        # The outer border belongs to the edge cells; outside points clamp.
+        assert plan.shard_of_point(Point(2000.0, 2000.0)) == 3
+        assert plan.shard_of_point(Point(-50.0, 5000.0)) == 2
+
+    def test_campaign_pins_to_its_cell(self):
+        plan = ShardPlan(BOUNDS, cols=2, rows=2)
+        for shard_id, (cx, cy) in enumerate(CENTERS):
+            assert plan.shard_for_instance(campaign(cx, cy)) == shard_id
+
+    def test_spanning_campaign_goes_to_overflow(self):
+        plan = ShardPlan(BOUNDS, cols=2, rows=2)
+        # Tasks straddling the vertical midline span two cells.
+        tasks = [
+            Task(task_id=0, location=Point(980.0, 500.0)),
+            Task(task_id=1, location=Point(1020.0, 500.0)),
+        ]
+        workers = [Worker(index=1, location=Point(1000.0, 500.0),
+                          accuracy=0.9, capacity=2)]
+        spanning = LTCInstance(tasks=tasks, workers=workers, error_rate=0.2)
+        assert plan.shard_for_instance(spanning) == plan.overflow_shard
+        # A reach box poking outside the plan bounds also overflows.
+        near_edge = campaign(10.0, 10.0)
+        assert plan.shard_for_instance(near_edge) == plan.overflow_shard
+
+    def test_unbounded_reach_goes_to_overflow(self):
+        plan = ShardPlan(BOUNDS, cols=2, rows=2)
+        constant = campaign(500.0, 500.0, accuracy_model=ConstantAccuracy(0.9))
+        assert instance_reach_radius(constant) is None
+        assert tasks_reach_bounds(constant) is None
+        assert plan.shard_for_instance(constant) == plan.overflow_shard
+
+    def test_reach_radius_bounds_every_worker(self):
+        instance = campaign(500.0, 500.0)
+        radius = instance_reach_radius(instance)
+        model = instance.accuracy_model
+        assert isinstance(model, SigmoidDistanceAccuracy)
+        # A perfect worker just beyond the radius is ineligible everywhere.
+        task = instance.tasks[0]
+        worker = Worker(
+            index=1,
+            location=Point(task.location.x + radius + 1.0, task.location.y),
+            accuracy=1.0,
+            capacity=1,
+        )
+        assert model.accuracy(worker, task) < instance.min_assignable_accuracy
+
+    def test_for_campaigns_covers_every_reach_box(self):
+        instances = [campaign(cx, cy, tid0=10 * i)
+                     for i, (cx, cy) in enumerate(CENTERS)]
+        plan = ShardPlan.for_campaigns(instances, cols=2)
+        for instance in instances:
+            assert plan.shard_for_instance(instance) != plan.overflow_shard
+        with pytest.raises(ValueError):
+            ShardPlan.for_campaigns(
+                [campaign(500.0, 500.0, accuracy_model=ConstantAccuracy(0.9))]
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(BOUNDS, cols=0)
+        with pytest.raises(ValueError):
+            ShardPlan(BoundingBox(0.0, 0.0, 0.0, 10.0))
+
+
+class TestBoundedArrivalQueue:
+    def test_fifo_and_counters(self):
+        queue = BoundedArrivalQueue(capacity=4)
+        for item in "abc":
+            assert queue.put(item)
+        assert [queue.get() for _ in range(3)] == list("abc")
+        for _ in range(3):
+            queue.task_done()
+        assert queue.accepted == 3
+        assert queue.processed == 3
+        assert queue.shed == 0
+        assert queue.join(timeout=0.1)
+
+    def test_drop_oldest_evicts_head(self):
+        queue = BoundedArrivalQueue(capacity=2, policy="drop-oldest")
+        assert queue.put("a") and queue.put("b") and queue.put("c")
+        assert queue.evicted == 1
+        assert queue.accepted == 3
+        assert queue.shed == 1
+        assert queue.get() == "b"
+        assert queue.get() == "c"
+
+    def test_reject_refuses_new_arrival(self):
+        queue = BoundedArrivalQueue(capacity=2, policy="reject")
+        assert queue.put("a") and queue.put("b")
+        assert not queue.put("c")
+        assert queue.rejected == 1
+        assert queue.shed == 1
+        assert queue.get() == "a"
+
+    def test_block_policy_waits_for_space(self):
+        queue = BoundedArrivalQueue(capacity=1, policy="block")
+        queue.put("a")
+        admitted = []
+
+        def producer():
+            admitted.append(queue.put("b"))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        thread.join(timeout=0.05)
+        assert thread.is_alive()  # blocked on the full queue
+        assert queue.get() == "a"
+        thread.join(timeout=2.0)
+        assert admitted == [True]
+        assert queue.get() == "b"
+
+    def test_close_wakes_consumers_and_refuses_producers(self):
+        queue = BoundedArrivalQueue(capacity=2)
+        queue.put("a")
+        queue.close()
+        assert queue.get() == "a"  # drains the backlog
+        assert queue.get() is None  # then reports closed
+        with pytest.raises(QueueClosedError):
+            queue.put("b")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BoundedArrivalQueue(capacity=0)
+        with pytest.raises(ValueError):
+            BoundedArrivalQueue(capacity=1, policy="spill")
+
+
+@pytest.fixture
+def plan():
+    return ShardPlan(BOUNDS, cols=2, rows=2)
+
+
+@pytest.fixture
+def campaigns():
+    return [campaign(cx, cy, tid0=100 * i) for i, (cx, cy) in enumerate(CENTERS)]
+
+
+class TestShardedDispatcher:
+    def test_sessions_pin_and_ids_are_global(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(plan, executor="serial")
+        ids = [dispatcher.submit_instance(c) for c in campaigns]
+        assert ids == [f"session-{i}" for i in range(1, 5)]
+        assert [dispatcher.shard_of(sid) for sid in ids] == [0, 1, 2, 3]
+        with pytest.raises(DuplicateSessionError):
+            dispatcher.submit_instance(campaigns[0], session_id=ids[0])
+        with pytest.raises(UnknownSessionError):
+            dispatcher.shard_of("nope")
+
+    def test_explicit_shard_override_is_validated(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(plan, executor="serial")
+        # A campaign in cell 0 cannot be pinned to cell 3 ...
+        with pytest.raises(ShardAffinityError):
+            dispatcher.submit_instance(campaigns[0], shard_id=3)
+        # ... but the overflow shard accepts anything.
+        sid = dispatcher.submit_instance(campaigns[0],
+                                         shard_id=plan.overflow_shard)
+        assert dispatcher.shard_of(sid) == plan.overflow_shard
+        with pytest.raises(ValueError):
+            dispatcher.submit_instance(campaigns[1], shard_id=99)
+
+    def test_serial_feed_returns_deliveries(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(plan, executor="serial")
+        ids = [dispatcher.submit_instance(c) for c in campaigns]
+        cx, cy = CENTERS[0]
+        deliveries = dispatcher.feed_worker(
+            Worker(index=1, location=Point(cx, cy), accuracy=0.9, capacity=2)
+        )
+        assert set(deliveries) == {ids[0]}
+        assert dispatcher.arrivals_offered == 1
+
+    def test_worker_fans_out_to_overflow_when_populated(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(plan, executor="serial")
+        geo_id = dispatcher.submit_instance(campaigns[0])
+        overflow_id = dispatcher.submit_instance(
+            campaign(*CENTERS[0], tid0=900), shard_id=plan.overflow_shard
+        )
+        cx, cy = CENTERS[0]
+        deliveries = dispatcher.feed_worker(
+            Worker(index=1, location=Point(cx, cy), accuracy=0.9, capacity=2)
+        )
+        assert set(deliveries) == {geo_id, overflow_id}
+        # One offered arrival, two per-shard feeds.
+        assert dispatcher.arrivals_offered == 1
+        assert dispatcher.metrics.workers_fed == 2
+
+    def test_mid_stream_tasks_must_stay_in_cell(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(plan, executor="serial")
+        sid = dispatcher.submit_instance(campaigns[0])
+        # Same-cell tasks are accepted ...
+        dispatcher.submit_tasks(
+            sid, [Task(task_id=990, location=Point(520.0, 500.0))]
+        )
+        # ... tasks reaching into another cell are refused, atomically.
+        before = dispatcher.poll()[sid].snapshot.tasks_total
+        with pytest.raises(ShardAffinityError):
+            dispatcher.submit_tasks(
+                sid, [Task(task_id=991, location=Point(1500.0, 500.0))]
+            )
+        assert dispatcher.poll()[sid].snapshot.tasks_total == before
+
+    def test_overflow_sessions_accept_any_tasks(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(plan, executor="serial")
+        sid = dispatcher.submit_instance(campaigns[0],
+                                         shard_id=plan.overflow_shard)
+        dispatcher.submit_tasks(
+            sid, [Task(task_id=990, location=Point(1900.0, 1900.0))]
+        )
+        assert dispatcher.poll()[sid].snapshot.tasks_total == 4
+
+    def test_autostart_false_defers_processing(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(
+            plan, executor="serial", autostart=False, queue_capacity=64
+        )
+        ids = [dispatcher.submit_instance(c) for c in campaigns]
+        stream = city_stream(40)
+        for worker in stream:
+            assert dispatcher.feed_worker(worker) is None
+        assert dispatcher.metrics.workers_fed == 0  # nothing processed yet
+        dispatcher.start()
+        dispatcher.drain()
+        assert dispatcher.metrics.workers_fed == len(stream)
+        assert set(dispatcher.poll()) == set(ids)
+        dispatcher.stop()
+
+    def test_shed_accounting_with_drop_oldest(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(
+            plan,
+            executor="serial",
+            autostart=False,
+            queue_capacity=4,
+            queue_policy="drop-oldest",
+        )
+        for c in campaigns:
+            dispatcher.submit_instance(c)
+        # All 12 arrivals target shard 0's queue (capacity 4) -> 8 evicted.
+        cx, cy = CENTERS[0]
+        for index in range(1, 13):
+            dispatcher.feed_worker(
+                Worker(index=index, location=Point(cx, cy),
+                       accuracy=0.9, capacity=2)
+            )
+        assert dispatcher.shed_total == 8
+        status = {s.shard_id: s for s in dispatcher.shard_status()}
+        assert status[0].arrivals_shed == 8
+        assert status[0].queue_depth == 4
+        assert status[1].arrivals_shed == 0
+        dispatcher.start()
+        dispatcher.drain()
+        assert dispatcher.metrics.workers_fed == 4
+        dispatcher.stop()
+
+    def test_shed_accounting_with_reject(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(
+            plan,
+            executor="serial",
+            autostart=False,
+            queue_capacity=4,
+            queue_policy="reject",
+        )
+        dispatcher.submit_instance(campaigns[0])
+        cx, cy = CENTERS[0]
+        for index in range(1, 13):
+            dispatcher.feed_worker(
+                Worker(index=index, location=Point(cx, cy),
+                       accuracy=0.9, capacity=2)
+            )
+        assert dispatcher.shed_total == 8
+        # Rejected keeps the *oldest* arrivals, drop-oldest the newest.
+        dispatcher.start()
+        dispatcher.drain()
+        assert dispatcher.poll()["session-1"].workers_routed == 4
+        dispatcher.stop()
+
+    def test_thread_executor_serves_and_stops(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(plan, executor="thread",
+                                       queue_capacity=256)
+        ids = [dispatcher.submit_instance(c) for c in campaigns]
+        stream = city_stream(200)
+        assert dispatcher.feed_stream(stream) == len(stream)
+        assert dispatcher.drain(timeout=10.0)
+        statuses = dispatcher.poll()
+        assert all(statuses[sid].complete for sid in ids)
+        dispatcher.stop()
+        dispatcher.stop()  # idempotent
+        with pytest.raises(RuntimeError):
+            dispatcher.feed_worker(stream[0])
+        results = dispatcher.close_all()
+        assert set(results) == set(ids)
+
+    def test_metrics_roll_up_across_shards(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(plan, executor="serial")
+        for c in campaigns:
+            dispatcher.submit_instance(c)
+        stream = city_stream(80)
+        dispatcher.feed_stream(stream)
+        aggregate = dispatcher.metrics
+        per_shard = [s.metrics for s in dispatcher.shard_status()]
+        assert aggregate.workers_fed == sum(m.workers_fed for m in per_shard)
+        assert aggregate.workers_fed == len(stream)  # overflow is empty
+        assert aggregate.sessions_opened == len(campaigns)
+        assert aggregate.assignments_made == sum(
+            m.assignments_made for m in per_shard
+        )
+        dispatcher.stop()
+
+    def test_expire_tasks_routes_to_the_right_shard(self, plan, campaigns):
+        dispatcher = ShardedDispatcher(plan, executor="serial")
+        ids = [dispatcher.submit_instance(c) for c in campaigns]
+        expired = dispatcher.expire_tasks(ids[2], [200, 201, 202])
+        assert expired == [200, 201, 202]
+        snapshot = dispatcher.poll()[ids[2]].snapshot
+        assert snapshot.tasks_abandoned == 3
+        assert snapshot.complete
+        assert dispatcher.metrics.tasks_expired == 3
+        dispatcher.stop()
+
+    def test_unknown_sessions_raise(self, plan):
+        dispatcher = ShardedDispatcher(plan, executor="serial")
+        with pytest.raises(UnknownSessionError):
+            dispatcher.submit_tasks("ghost", [])
+        with pytest.raises(UnknownSessionError):
+            dispatcher.close("ghost")
+
+    def test_invalid_executor(self, plan):
+        with pytest.raises(ValueError):
+            ShardedDispatcher(plan, executor="fork")
