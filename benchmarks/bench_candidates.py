@@ -21,8 +21,11 @@ where the vectorized win is what the north star's traffic needs):
 
 Exactness is asserted on every case: all implementations must produce
 identical arrangements / identical pair streams.  Timings are medians over
-interleaved repeats; results are written as one JSON report — by default
-to ``BENCH_candidates.json`` at the repo root.
+interleaved repeats.  The suite registers with the shared registry in
+:mod:`_common`, reports in the shared schema, and is normally run through
+``benchmarks/bench_all.py``; standalone it writes ``BENCH_candidates.json``
+at the repo root (or a smoke report under ``benchmarks/results/`` with
+``--smoke``).
 
 Usage::
 
@@ -34,15 +37,16 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import math
-import platform
 import random
 import statistics
 import sys
-import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import _common
+from _common import BenchSuite, SuiteResult
 
 from repro.algorithms.aam import AAMSolver
 from repro.algorithms.laf import LAFSolver
@@ -58,8 +62,7 @@ from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.geo.point import Point
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_candidates.json"
+DEFAULT_OUTPUT = _common.REPO_ROOT / "BENCH_candidates.json"
 
 
 def build_instance(num_tasks: int, num_workers: int, box: float, seed: int,
@@ -136,9 +139,42 @@ def drive_engine(instance: LTCInstance, solver_cls, backend: str) -> tuple:
     return arrangement.assignments, arrivals, open_tasks == 0
 
 
-def bench_online(instance: LTCInstance, repeats: int, backends) -> dict:
+def _finish_entry(entry, times, runners, backends, baseline="legacy",
+                  per_arrival=None):
+    """Medians, per-arrival costs and speedups, shared by every section."""
+    medians_s = {impl: statistics.median(times[impl]) for impl in runners}
+    for impl in runners:
+        entry[f"{impl}_ms_median"] = round(medians_s[impl] * 1000, 3)
+        if per_arrival:
+            entry[f"{impl}_us_per_arrival"] = round(
+                medians_s[impl] * 1e6 / max(1, per_arrival), 2
+            )
+    for backend in backends:
+        entry[f"{backend}_speedup_vs_{baseline}"] = _common.ratio(
+            medians_s[baseline], medians_s[backend]
+        )
+    return entry, medians_s
+
+
+def _timed_section(entry, medians_s, baseline, backends) -> dict:
+    return {
+        "baseline": baseline,
+        "timings_ms": {
+            impl: round(value * 1000, 3) for impl, value in medians_s.items()
+        },
+        "speedups": {
+            f"{backend}_vs_{baseline}":
+                entry[f"{backend}_speedup_vs_{baseline}"]
+            for backend in backends
+        },
+        "detail": entry,
+    }
+
+
+def bench_online(instance: LTCInstance, repeats: int, backends):
     """Time full LAF and AAM drives for every implementation."""
-    section = {}
+    sections = {}
+    witnesses = {}
     cases = {
         "LAF": (legacy_laf_observe, LAFSolver),
         "AAM": (legacy_aam_observe, AAMSolver),
@@ -149,14 +185,7 @@ def bench_online(instance: LTCInstance, repeats: int, backends) -> dict:
             runners[backend] = (
                 lambda cls=solver_cls, b=backend: drive_engine(instance, cls, b)
             )
-        times = {impl: [] for impl in runners}
-        outputs = {}
-        # Interleave implementations so background drift hits all equally.
-        for _ in range(repeats):
-            for impl, runner in runners.items():
-                start = time.perf_counter()
-                outputs[impl] = runner()
-                times[impl].append(time.perf_counter() - start)
+        times, outputs = _common.run_interleaved(runners, repeats)
         base_assignments, base_arrivals, base_completed = outputs["legacy"]
         for impl, (assignments, arrivals, _) in outputs.items():
             if assignments != base_assignments or arrivals != base_arrivals:
@@ -169,24 +198,22 @@ def bench_online(instance: LTCInstance, repeats: int, backends) -> dict:
             "assignments": len(base_assignments),
             "completed": base_completed,
         }
-        for impl in runners:
-            median_s = statistics.median(times[impl])
-            entry[f"{impl}_ms_median"] = round(median_s * 1000, 3)
-            entry[f"{impl}_us_per_arrival"] = round(
-                median_s * 1e6 / max(1, base_arrivals), 2
-            )
-        legacy_s = statistics.median(times["legacy"])
-        for backend in backends:
-            backend_s = statistics.median(times[backend])
-            entry[f"{backend}_speedup_vs_legacy"] = (
-                round(legacy_s / backend_s, 2) if backend_s > 0 else float("inf")
-            )
-        section[name] = entry
-    return section
+        entry, medians_s = _finish_entry(entry, times, runners, backends,
+                                         per_arrival=base_arrivals)
+        sections[f"online_{name.lower()}"] = _timed_section(
+            entry, medians_s, "legacy", backends
+        )
+        witnesses[name] = {
+            "arrivals": base_arrivals,
+            "assignments": len(base_assignments),
+            "completed": base_completed,
+            "arrangement_digest": _common.digest(base_assignments),
+        }
+    return sections, witnesses
 
 
 def bench_selection(instance: LTCInstance, repeats: int, backends,
-                    sample: int = 800) -> dict:
+                    sample: int = 800):
     """The candidate path itself: per-arrival selection on a frozen state.
 
     The full drives above include the arrangement mutation
@@ -254,13 +281,7 @@ def bench_selection(instance: LTCInstance, repeats: int, backends,
     runners = {"legacy": run_legacy}
     for backend in backends:
         runners[backend] = lambda b=backend: run_engine(b)
-    times = {impl: [] for impl in runners}
-    outputs = {}
-    for _ in range(repeats):
-        for impl, runner in runners.items():
-            start = time.perf_counter()
-            outputs[impl] = runner()
-            times[impl].append(time.perf_counter() - start)
+    times, outputs = _common.run_interleaved(runners, repeats)
     baseline = outputs["legacy"]
     for impl, selections in outputs.items():
         if selections != baseline:
@@ -270,23 +291,20 @@ def bench_selection(instance: LTCInstance, repeats: int, backends,
         "frozen_after_arrivals": consumed,
         "completed_tasks": finished,
     }
-    for impl in runners:
-        median_s = statistics.median(times[impl])
-        entry[f"{impl}_ms_median"] = round(median_s * 1000, 3)
-        entry[f"{impl}_us_per_arrival"] = round(
-            median_s * 1e6 / max(1, len(sample_workers)), 2
-        )
-    legacy_s = statistics.median(times["legacy"])
-    for backend in backends:
-        backend_s = statistics.median(times[backend])
-        entry[f"{backend}_speedup_vs_legacy"] = (
-            round(legacy_s / backend_s, 2) if backend_s > 0 else float("inf")
-        )
-    return entry
+    entry, medians_s = _finish_entry(entry, times, runners, backends,
+                                     per_arrival=len(sample_workers))
+    section = _timed_section(entry, medians_s, "legacy", backends)
+    witness = {
+        "sample_arrivals": len(sample_workers),
+        "frozen_after_arrivals": consumed,
+        "completed_tasks": finished,
+        "selection_digest": _common.digest(baseline),
+    }
+    return section, witness
 
 
 def bench_pairs(instance: LTCInstance, repeats: int, backends,
-                batch_size: int) -> dict:
+                batch_size: int):
     """Time the batch arc-emission stream (the MCF-LTC reduction's input)."""
     batch = instance.workers[:batch_size]
     # Model a mid-run batch: a quarter of the tasks already completed.
@@ -296,16 +314,16 @@ def bench_pairs(instance: LTCInstance, repeats: int, backends,
     finders = {"legacy": legacy}
     for backend in backends:
         finders[backend] = CandidateFinder(instance, backend=backend)
-    times = {impl: [] for impl in finders}
-    outputs = {}
-    for _ in range(repeats):
-        for impl, finder in finders.items():
-            start = time.perf_counter()
-            outputs[impl] = [
-                (w.index, t.task_id)
-                for w, t in finder.eligible_pairs(batch, allowed)
-            ]
-            times[impl].append(time.perf_counter() - start)
+
+    def emit(finder):
+        return [
+            (w.index, t.task_id)
+            for w, t in finder.eligible_pairs(batch, allowed)
+        ]
+
+    runners = {impl: (lambda f=finder: emit(f))
+               for impl, finder in finders.items()}
+    times, outputs = _common.run_interleaved(runners, repeats)
     baseline = outputs["legacy"]
     for impl, pairs in outputs.items():
         if pairs != baseline:
@@ -315,42 +333,18 @@ def bench_pairs(instance: LTCInstance, repeats: int, backends,
         "allowed_tasks": len(allowed),
         "pairs": len(baseline),
     }
-    for impl in finders:
-        median_s = statistics.median(times[impl])
-        entry[f"{impl}_ms_median"] = round(median_s * 1000, 3)
-    legacy_s = statistics.median(times["legacy"])
-    for backend in backends:
-        backend_s = statistics.median(times[backend])
-        entry[f"{backend}_speedup_vs_legacy"] = (
-            round(legacy_s / backend_s, 2) if backend_s > 0 else float("inf")
-        )
-    return entry
+    entry, medians_s = _finish_entry(entry, times, runners, backends)
+    section = _timed_section(entry, medians_s, "legacy", backends)
+    witness = {
+        "batch_workers": len(batch),
+        "allowed_tasks": len(allowed),
+        "pairs": len(baseline),
+        "pairs_digest": _common.digest(baseline),
+    }
+    return section, witness
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tasks", type=int, default=2000)
-    parser.add_argument("--workers", type=int, default=6000,
-                        help="length of the arrival stream (drives stop at "
-                             "completion)")
-    parser.add_argument("--box", type=float, default=None,
-                        help="side of the square region (default: sized for "
-                             "a worker degree around --degree)")
-    parser.add_argument("--degree", type=float, default=260.0,
-                        help="target mean candidates per worker when --box "
-                             "is not given (the dense-city regime; the "
-                             "paper's sparse setup is ~12)")
-    parser.add_argument("--capacity", type=int, default=6)
-    parser.add_argument("--error-rate", type=float, default=0.14)
-    parser.add_argument("--batch-size", type=int, default=400,
-                        help="worker slice for the arc-emission section")
-    parser.add_argument("--repeats", type=int, default=5)
-    parser.add_argument("--seed", type=int, default=20180416)
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
-    parser.add_argument("--backends", nargs="+", default=None,
-                        help="engine backends to time (default: all available)")
-    args = parser.parse_args(argv)
-
+def run_suite(args) -> SuiteResult:
     backends = args.backends
     if backends is None:
         backends = [
@@ -369,82 +363,118 @@ def main(argv=None) -> int:
     print(f"instance: {args.tasks} tasks, {args.workers} workers, "
           f"box={box:.1f}, mean degree={degree:.1f}")
 
-    online = bench_online(instance, args.repeats, backends)
-    for name, entry in online.items():
+    sections, online_witnesses = bench_online(instance, args.repeats, backends)
+    for name in ("LAF", "AAM"):
+        detail = sections[f"online_{name.lower()}"]["detail"]
         timings = "  ".join(
-            f"{impl}={entry[f'{impl}_ms_median']:>9.2f}ms"
+            f"{impl}={detail[f'{impl}_ms_median']:>9.2f}ms"
             for impl in ["legacy", *backends]
         )
         speedups = "  ".join(
-            f"{b}={entry[f'{b}_speedup_vs_legacy']:>5.2f}x" for b in backends
+            f"{b}={detail[f'{b}_speedup_vs_legacy']:>5.2f}x" for b in backends
         )
-        print(f"online {name:>4}  arrivals={entry['arrivals']:>5}  {timings}  "
+        print(f"online {name:>4}  arrivals={detail['arrivals']:>5}  {timings}  "
               f"speedup: {speedups}")
 
-    selection = bench_selection(instance, args.repeats, backends)
+    selection, selection_witness = bench_selection(instance, args.repeats,
+                                                   backends)
+    sections["selection"] = selection
+    detail = selection["detail"]
     timings = "  ".join(
-        f"{impl}={selection[f'{impl}_us_per_arrival']:>8.1f}us"
+        f"{impl}={detail[f'{impl}_us_per_arrival']:>8.1f}us"
         for impl in ["legacy", *backends]
     )
     speedups = "  ".join(
-        f"{b}={selection[f'{b}_speedup_vs_legacy']:>5.2f}x" for b in backends
+        f"{b}={detail[f'{b}_speedup_vs_legacy']:>5.2f}x" for b in backends
     )
     print(f"selection    per-arrival  {timings}  speedup: {speedups}")
 
-    pairs = bench_pairs(instance, args.repeats, backends, args.batch_size)
+    pairs, pairs_witness = bench_pairs(instance, args.repeats, backends,
+                                       args.batch_size)
+    sections["pairs"] = pairs
+    detail = pairs["detail"]
     timings = "  ".join(
-        f"{impl}={pairs[f'{impl}_ms_median']:>9.2f}ms"
+        f"{impl}={detail[f'{impl}_ms_median']:>9.2f}ms"
         for impl in ["legacy", *backends]
     )
     speedups = "  ".join(
-        f"{b}={pairs[f'{b}_speedup_vs_legacy']:>5.2f}x" for b in backends
+        f"{b}={detail[f'{b}_speedup_vs_legacy']:>5.2f}x" for b in backends
     )
-    print(f"pairs  emit  pairs={pairs['pairs']:>7}  {timings}  "
+    print(f"pairs  emit  pairs={detail['pairs']:>7}  {timings}  "
           f"speedup: {speedups}")
 
-    report = {
-        "benchmark": "candidates",
-        "description": (
-            "Candidate-generation hot paths: the struct-of-arrays engine "
-            "(python scalar and numpy vectorized backends) vs the retained "
-            "pre-engine object scan (dict grid, per-pair math.exp, AAM's "
-            "O(T) remaining rescan). 'online' times full LAF/AAM drives to "
-            "completion arrival by arrival; 'pairs' times one batch of "
-            "eligible-pair arc emission for the MCF-LTC reduction. All "
-            "implementations are asserted to produce identical "
-            "arrangements / pair streams."
-        ),
-        "config": {
-            "tasks": args.tasks,
-            "workers": args.workers,
-            "box": round(box, 2),
-            "mean_degree": round(degree, 1),
-            "capacity": args.capacity,
-            "error_rate": args.error_rate,
-            "batch_size": args.batch_size,
-            "repeats": args.repeats,
-            "seed": args.seed,
-            "backends": backends,
-            "python": platform.python_version(),
-        },
-        "online": online,
-        "selection": selection,
-        "pairs": pairs,
-        "headline_speedups": {
-            backend: {
-                "LAF": online["LAF"][f"{backend}_speedup_vs_legacy"],
-                "AAM": online["AAM"][f"{backend}_speedup_vs_legacy"],
-                "selection": selection[f"{backend}_speedup_vs_legacy"],
-                "pairs": pairs[f"{backend}_speedup_vs_legacy"],
-            }
-            for backend in backends
-        },
+    headline = {
+        f"{section}_{backend}_vs_legacy":
+            sections[section]["speedups"][f"{backend}_vs_legacy"]
+        for section in ("online_laf", "online_aam", "selection", "pairs")
+        for backend in backends
     }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=1) + "\n")
-    print(f"wrote {args.output}")
-    return 0
+    config = {
+        "tasks": args.tasks,
+        "workers": args.workers,
+        "box": round(box, 2),
+        "mean_degree": round(degree, 1),
+        "capacity": args.capacity,
+        "error_rate": args.error_rate,
+        "batch_size": args.batch_size,
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "backends": list(backends),
+    }
+    return SuiteResult(
+        config=config,
+        sections=sections,
+        headline_speedups=headline,
+        fingerprint_payload={
+            "online": online_witnesses,
+            "selection": selection_witness,
+            "pairs": pairs_witness,
+        },
+    )
+
+
+def add_arguments(parser) -> None:
+    parser.add_argument("--tasks", type=int, default=2000)
+    parser.add_argument("--workers", type=int, default=6000,
+                        help="length of the arrival stream (drives stop at "
+                             "completion)")
+    parser.add_argument("--box", type=float, default=None,
+                        help="side of the square region (default: sized for "
+                             "a worker degree around --degree)")
+    parser.add_argument("--degree", type=float, default=260.0,
+                        help="target mean candidates per worker when --box "
+                             "is not given (the dense-city regime; the "
+                             "paper's sparse setup is ~12)")
+    parser.add_argument("--capacity", type=int, default=6)
+    parser.add_argument("--error-rate", type=float, default=0.14)
+    parser.add_argument("--batch-size", type=int, default=400,
+                        help="worker slice for the arc-emission section")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=20180416)
+    parser.add_argument("--backends", nargs="+", default=None,
+                        help="engine backends to time (default: all available)")
+
+
+SUITE = _common.register_suite(BenchSuite(
+    name="candidates",
+    description=(
+        "Candidate-generation hot paths: the struct-of-arrays engine "
+        "(python scalar and numpy vectorized backends) vs the retained "
+        "pre-engine object scan (dict grid, per-pair math.exp, AAM's "
+        "O(T) remaining rescan). 'online_laf'/'online_aam' time full "
+        "LAF/AAM drives to completion arrival by arrival; 'selection' "
+        "isolates the frozen per-arrival top-k path; 'pairs' times one "
+        "batch of eligible-pair arc emission for the MCF-LTC reduction. "
+        "All implementations are asserted to produce identical "
+        "arrangements / pair streams."
+    ),
+    default_output=DEFAULT_OUTPUT,
+    add_arguments=add_arguments,
+    run=run_suite,
+    smoke_overrides={"tasks": 250, "workers": 500, "degree": 40.0,
+                     "batch_size": 120, "repeats": 2},
+))
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_common.suite_main(SUITE))

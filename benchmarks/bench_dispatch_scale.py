@@ -17,13 +17,18 @@ workload from :mod:`repro.service.loadgen`:
   routing-latency p50/p99 land in the report.
 * **backpressure** — a burst-heavy stream through deliberately small
   shard queues under the ``drop-oldest`` and ``reject`` policies,
-  reporting shed rates (byte-identity is forfeited by design here).
+  reporting shed rates (byte-identity is forfeited by design here, and the
+  shed counts are thread-timing dependent, so this observational section
+  is excluded from the exactness fingerprint).
 * **ttl** — the latency-vs-abandonment trade: the stream is cut at a
   deadline fraction, every still-open task is expired through the TTL
   sweep, and the report shows completion vs abandonment per deadline.
 
-The JSON report lands at ``BENCH_dispatch_scale.json`` in the repo root by
-default.
+The suite registers with the shared registry in :mod:`_common`, reports in
+the shared schema, and is normally run through
+``benchmarks/bench_all.py``; standalone it writes
+``BENCH_dispatch_scale.json`` at the repo root (or a smoke report under
+``benchmarks/results/`` with ``--smoke``).
 
 Usage::
 
@@ -35,21 +40,22 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
 import hashlib
-import json
-import platform
 import statistics
 import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import _common
+from _common import BenchSuite, SuiteResult
+
 from repro.service import LTCDispatcher, ShardedDispatcher, ShardPlan
 from repro.service.loadgen import BurstWindow, ReplayConfig, build_workload
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_dispatch_scale.json"
+DEFAULT_OUTPUT = _common.REPO_ROOT / "BENCH_dispatch_scale.json"
 
 #: Shard-count sweep: shard count -> (cols, rows) over the 4x2 city grid.
 SHARD_GRIDS: Dict[int, Tuple[int, int]] = {1: (1, 1), 2: (2, 1), 4: (2, 2), 8: (4, 2)}
@@ -162,7 +168,7 @@ def run_sharded(workload, shards: int, executor: str, queue_capacity: int) -> di
     }
 
 
-def bench_shard_sweep(workload, shard_counts, repeats, queue_capacity) -> dict:
+def bench_shard_sweep(workload, shard_counts, repeats, queue_capacity):
     """The headline sweep: timings are medians over interleaved repeats."""
     runners = {"single_process": lambda: run_single_process(workload)}
     for shards in shard_counts:
@@ -192,24 +198,30 @@ def bench_shard_sweep(workload, shard_counts, repeats, queue_capacity) -> dict:
                 f"{impl} arrangements diverged from single_process "
                 f"(sessions {diverged[:5]})"
             )
-    baseline_s = statistics.median(times["single_process"])
-    section = {
+    medians_s = {impl: statistics.median(times[impl]) for impl in runners}
+    cases = {
         "single_process": {
-            "wall_ms_median": round(baseline_s * 1000, 3),
-            "throughput_per_s": round(baseline["offered"] / baseline_s, 1),
+            "wall_ms_median": round(medians_s["single_process"] * 1000, 3),
+            "throughput_per_s": round(
+                baseline["offered"] / medians_s["single_process"], 1
+            ),
             "routed_fraction": round(baseline["routed_fraction"], 4),
             "sessions": baseline["sessions"],
             "sessions_completed": baseline["sessions_completed"],
         }
     }
+    speedups = {}
     for impl, output in outputs.items():
         if impl == "single_process":
             continue
-        median_s = statistics.median(times[impl])
-        section[impl] = {
+        median_s = medians_s[impl]
+        speedups[f"{impl}_vs_single_process"] = _common.ratio(
+            medians_s["single_process"], median_s
+        )
+        cases[impl] = {
             "wall_ms_median": round(median_s * 1000, 3),
             "throughput_per_s": round(output["offered"] / median_s, 1),
-            "speedup_vs_single_process": round(baseline_s / median_s, 2),
+            "speedup_vs_single_process": speedups[f"{impl}_vs_single_process"],
             "routed_fraction": round(output["routed_fraction"], 4),
             "shed": output["shed"],
             "sessions_completed": output["sessions_completed"],
@@ -217,12 +229,26 @@ def bench_shard_sweep(workload, shard_counts, repeats, queue_capacity) -> dict:
             "routing_p99_us": round(output["routing_p99_us"], 1),
             "byte_identical_to_single_process": True,
         }
-    return section
+    section = {
+        "baseline": "single_process",
+        "timings_ms": {
+            impl: round(value * 1000, 3) for impl, value in medians_s.items()
+        },
+        "speedups": speedups,
+        "cases": cases,
+    }
+    witness = {
+        "sessions": baseline["sessions"],
+        "sessions_completed": baseline["sessions_completed"],
+        "offered": baseline["offered"],
+        "fingerprints": baseline["fingerprints"],
+    }
+    return section, witness
 
 
 def bench_backpressure(workload, queue_capacity: int) -> dict:
     """Small queues + burst traffic: shed accounting per policy."""
-    section = {}
+    metrics = {}
     for policy in ("drop-oldest", "reject"):
         cols, rows = SHARD_GRIDS[8]
         plan = ShardPlan.for_region(workload.config.bounds, cols=cols, rows=rows)
@@ -241,18 +267,18 @@ def bench_backpressure(workload, queue_capacity: int) -> dict:
         offered = dispatcher.arrivals_offered
         shed = dispatcher.shed_total
         dispatcher.close_all()
-        section[policy] = {
+        metrics[policy] = {
             "queue_capacity": queue_capacity,
             "offered": offered,
             "shed": shed,
             "shed_rate": round(shed / offered, 4) if offered else 0.0,
         }
-    return section
+    return {"metrics": metrics}
 
 
 def bench_ttl(workload, deadlines) -> dict:
     """Latency-vs-abandonment: expire everything still open at a deadline."""
-    section = {}
+    metrics = {}
     total_tasks = sum(c.num_tasks for c in workload.campaigns)
     for deadline in deadlines:
         cols, rows = SHARD_GRIDS[4]
@@ -278,18 +304,90 @@ def bench_ttl(workload, deadlines) -> dict:
         )
         dispatcher.stop()
         dispatcher.close_all()
-        section[f"deadline_{deadline:g}"] = {
+        metrics[f"deadline_{deadline:g}"] = {
             "deadline_arrivals": cutoff,
             "tasks_total": total_tasks,
             "tasks_completed": completed_tasks,
             "tasks_abandoned": expired,
             "abandonment_rate": round(expired / total_tasks, 4),
         }
-    return section
+    return {"metrics": metrics}
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+def run_suite(args) -> SuiteResult:
+    config_obj = make_config(args)
+    workload = build_workload(config_obj)
+    print(f"workload: {len(workload.campaigns)} campaigns over "
+          f"{config_obj.num_cities} cities, {config_obj.num_workers} arrivals")
+
+    sweep, sweep_witness = bench_shard_sweep(
+        workload, args.shards, args.repeats, args.queue_capacity
+    )
+    base = sweep["cases"]["single_process"]
+    print(f"single_process  wall={base['wall_ms_median']:>9.1f}ms  "
+          f"throughput={base['throughput_per_s']:>9.0f}/s")
+    for shards in args.shards:
+        for executor in ("serial", "thread"):
+            entry = sweep["cases"][f"{executor}_{shards}"]
+            print(f"{executor:>6}_{shards}  wall={entry['wall_ms_median']:>9.1f}ms  "
+                  f"throughput={entry['throughput_per_s']:>9.0f}/s  "
+                  f"speedup={entry['speedup_vs_single_process']:>5.2f}x  "
+                  f"p99={entry['routing_p99_us']:>7.1f}us")
+
+    backpressure = bench_backpressure(workload, args.burst_queue_capacity)
+    for policy, entry in backpressure["metrics"].items():
+        print(f"backpressure {policy:>11}  shed={entry['shed']:>6} "
+              f"({entry['shed_rate']:.2%} of {entry['offered']})")
+
+    ttl = bench_ttl(workload, args.deadlines)
+    for key, entry in ttl["metrics"].items():
+        print(f"ttl {key:>14}  completed={entry['tasks_completed']:>5.0f}  "
+              f"abandoned={entry['tasks_abandoned']:>5} "
+              f"({entry['abandonment_rate']:.2%})")
+
+    sections = {
+        "shard_sweep": sweep,
+        "backpressure": backpressure,
+        "ttl": ttl,
+    }
+    serial_max = f"serial_{max(args.shards)}"
+    thread_max = f"thread_{max(args.shards)}"
+    headline = {
+        "serial_max_shards_vs_single_process":
+            sweep["speedups"][f"{serial_max}_vs_single_process"],
+        "thread_max_shards_vs_single_process":
+            sweep["speedups"][f"{thread_max}_vs_single_process"],
+    }
+    config = {
+        "cities": config_obj.num_cities,
+        "campaigns": len(workload.campaigns),
+        "campaigns_per_city": args.campaigns_per_city,
+        "tasks_per_campaign": config_obj.tasks_per_campaign,
+        "workers": config_obj.num_workers,
+        "capacity": config_obj.capacity,
+        "error_rate": config_obj.error_rate,
+        "shard_counts": list(args.shards),
+        "queue_capacity": args.queue_capacity,
+        "burst_queue_capacity": args.burst_queue_capacity,
+        "deadlines": list(args.deadlines),
+        "repeats": args.repeats,
+        "seed": args.seed,
+    }
+    # The backpressure section is deliberately absent from the payload:
+    # shed counts under the thread executor depend on thread timing and
+    # are not reproducible across machines.
+    return SuiteResult(
+        config=config,
+        sections=sections,
+        headline_speedups=headline,
+        fingerprint_payload={
+            "shard_sweep": sweep_witness,
+            "ttl": ttl["metrics"],
+        },
+    )
+
+
+def add_arguments(parser) -> None:
     parser.add_argument("--workers", type=int, default=20_000,
                         help="length of the merged arrival stream")
     parser.add_argument("--campaigns-per-city", type=int, default=8)
@@ -311,85 +409,30 @@ def main(argv=None) -> int:
                         help="TTL deadlines as fractions of the stream")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=20180416)
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
-    args = parser.parse_args(argv)
 
-    config = make_config(args)
-    workload = build_workload(config)
-    print(f"workload: {len(workload.campaigns)} campaigns over "
-          f"{config.num_cities} cities, {config.num_workers} arrivals")
 
-    sweep = bench_shard_sweep(
-        workload, args.shards, args.repeats, args.queue_capacity
-    )
-    base = sweep["single_process"]
-    print(f"single_process  wall={base['wall_ms_median']:>9.1f}ms  "
-          f"throughput={base['throughput_per_s']:>9.0f}/s")
-    for shards in args.shards:
-        for executor in ("serial", "thread"):
-            entry = sweep[f"{executor}_{shards}"]
-            print(f"{executor:>6}_{shards}  wall={entry['wall_ms_median']:>9.1f}ms  "
-                  f"throughput={entry['throughput_per_s']:>9.0f}/s  "
-                  f"speedup={entry['speedup_vs_single_process']:>5.2f}x  "
-                  f"p99={entry['routing_p99_us']:>7.1f}us")
-
-    backpressure = bench_backpressure(workload, args.burst_queue_capacity)
-    for policy, entry in backpressure.items():
-        print(f"backpressure {policy:>11}  shed={entry['shed']:>6} "
-              f"({entry['shed_rate']:.2%} of {entry['offered']})")
-
-    ttl = bench_ttl(workload, args.deadlines)
-    for key, entry in ttl.items():
-        print(f"ttl {key:>14}  completed={entry['tasks_completed']:>5.0f}  "
-              f"abandoned={entry['tasks_abandoned']:>5} "
-              f"({entry['abandonment_rate']:.2%})")
-
-    serial_max = f"serial_{max(args.shards)}"
-    thread_max = f"thread_{max(args.shards)}"
-    report = {
-        "benchmark": "dispatch_scale",
-        "description": (
-            "Sharded dispatch vs a single-process dispatcher on a seeded, "
-            "replayable multi-city worker stream (diurnal + burst traffic). "
-            "'shard_sweep' feeds the identical stream through 1/2/4/8 geo "
-            "shards under the serial executor (pure routing-work reduction) "
-            "and the thread executor (plus per-shard drain threads); every "
-            "lossless run is asserted byte-identical to the single-process "
-            "baseline via per-session arrangement fingerprints. "
-            "'backpressure' sheds burst traffic through small bounded "
-            "queues; 'ttl' expires still-open tasks at a deadline and "
-            "reports the completion/abandonment trade."
-        ),
-        "config": {
-            "cities": config.num_cities,
-            "campaigns": len(workload.campaigns),
-            "tasks_per_campaign": config.tasks_per_campaign,
-            "workers": config.num_workers,
-            "capacity": config.capacity,
-            "error_rate": config.error_rate,
-            "shard_counts": list(args.shards),
-            "queue_capacity": args.queue_capacity,
-            "repeats": args.repeats,
-            "seed": args.seed,
-            "python": platform.python_version(),
-        },
-        "shard_sweep": sweep,
-        "backpressure": backpressure,
-        "ttl": ttl,
-        "headline_speedups": {
-            "serial_max_shards_vs_single_process": sweep.get(
-                serial_max, {}
-            ).get("speedup_vs_single_process"),
-            "thread_max_shards_vs_single_process": sweep.get(
-                thread_max, {}
-            ).get("speedup_vs_single_process"),
-        },
-    }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=1) + "\n")
-    print(f"wrote {args.output}")
-    return 0
+SUITE = _common.register_suite(BenchSuite(
+    name="dispatch_scale",
+    description=(
+        "Sharded dispatch vs a single-process dispatcher on a seeded, "
+        "replayable multi-city worker stream (diurnal + burst traffic). "
+        "'shard_sweep' feeds the identical stream through 1/2/4/8 geo "
+        "shards under the serial executor (pure routing-work reduction) "
+        "and the thread executor (plus per-shard drain threads); every "
+        "lossless run is asserted byte-identical to the single-process "
+        "baseline via per-session arrangement fingerprints. "
+        "'backpressure' sheds burst traffic through small bounded "
+        "queues; 'ttl' expires still-open tasks at a deadline and "
+        "reports the completion/abandonment trade."
+    ),
+    default_output=DEFAULT_OUTPUT,
+    add_arguments=add_arguments,
+    run=run_suite,
+    smoke_overrides={"workers": 4000, "campaigns_per_city": 2,
+                     "tasks_per_campaign": 8, "shards": [1, 2, 4],
+                     "deadlines": [0.25, 0.5], "repeats": 1},
+))
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_common.suite_main(SUITE))

@@ -28,8 +28,11 @@ steady-state control:
   tombstone/spill machinery must not tax the static query path (the
   speedup-vs-legacy here should match ``BENCH_candidates.json``).
 
-Timings are medians over interleaved repeats; the JSON report lands at
-``BENCH_dynamic_sessions.json`` in the repo root by default.
+Timings are medians over interleaved repeats.  The suite registers with
+the shared registry in :mod:`_common`, reports in the shared schema, and
+is normally run through ``benchmarks/bench_all.py``; standalone it writes
+``BENCH_dynamic_sessions.json`` at the repo root (or a smoke report under
+``benchmarks/results/`` with ``--smoke``).
 
 Usage::
 
@@ -41,15 +44,16 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
-import json
 import math
-import platform
 import random
 import statistics
 import sys
-import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import _common
+from _common import BenchSuite, SuiteResult
 
 from repro.algorithms.aam import AAMSolver
 from repro.algorithms.laf import LAFSolver
@@ -65,8 +69,7 @@ from repro.core.task import Task
 from repro.core.worker import Worker
 from repro.geo.point import Point
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_dynamic_sessions.json"
+DEFAULT_OUTPUT = _common.REPO_ROOT / "BENCH_dynamic_sessions.json"
 
 
 def build_workload(args) -> tuple:
@@ -234,29 +237,24 @@ def drive_session(solver, base: LTCInstance, events) -> tuple:
     return result.arrangement.assignments, arrivals, result.completed
 
 
-def bench_dynamic(base, events, repeats, backends) -> dict:
-    section = {}
+def bench_dynamic(base, events, repeats, backends):
+    sections = {}
+    witnesses = {}
     cases = {"LAF": (LAFSolver, RebuildLAF), "AAM": (AAMSolver, RebuildAAM)}
     for name, (solver_cls, rebuild_cls) in cases.items():
         runners = {}
         for backend in backends:
-            runners[f"incremental_{backend}"] = (
-                lambda cls=solver_cls, b=backend: drive_session(
-                    cls(candidates=b), base, events
-                )
-            )
             runners[f"rebuild_{backend}"] = (
                 lambda cls=rebuild_cls, b=backend: drive_session(
                     cls(candidates=b), base, events
                 )
             )
-        times = {impl: [] for impl in runners}
-        outputs = {}
-        for _ in range(repeats):
-            for impl, runner in runners.items():
-                start = time.perf_counter()
-                outputs[impl] = runner()
-                times[impl].append(time.perf_counter() - start)
+            runners[f"incremental_{backend}"] = (
+                lambda cls=solver_cls, b=backend: drive_session(
+                    cls(candidates=b), base, events
+                )
+            )
+        times, outputs = _common.run_interleaved(runners, repeats)
         baseline_key = f"incremental_{backends[0]}"
         base_assignments, base_arrivals, base_completed = outputs[baseline_key]
         for impl, (assignments, arrivals, _) in outputs.items():
@@ -270,19 +268,34 @@ def bench_dynamic(base, events, repeats, backends) -> dict:
             "assignments": len(base_assignments),
             "completed": base_completed,
         }
+        medians_s = {impl: statistics.median(times[impl]) for impl in runners}
         for impl in runners:
-            entry[f"{impl}_ms_median"] = round(
-                statistics.median(times[impl]) * 1000, 3
-            )
+            entry[f"{impl}_ms_median"] = round(medians_s[impl] * 1000, 3)
+        speedups = {}
         for backend in backends:
-            rebuild_s = statistics.median(times[f"rebuild_{backend}"])
-            incremental_s = statistics.median(times[f"incremental_{backend}"])
-            entry[f"{backend}_incremental_speedup_vs_rebuild"] = (
-                round(rebuild_s / incremental_s, 2)
-                if incremental_s > 0 else float("inf")
+            speedups[f"incremental_{backend}_vs_rebuild_{backend}"] = (
+                _common.ratio(medians_s[f"rebuild_{backend}"],
+                              medians_s[f"incremental_{backend}"])
             )
-        section[name] = entry
-    return section
+            entry[f"{backend}_incremental_speedup_vs_rebuild"] = (
+                speedups[f"incremental_{backend}_vs_rebuild_{backend}"]
+            )
+        sections[f"dynamic_{name.lower()}"] = {
+            "baseline": f"rebuild_{backends[0]}",
+            "timings_ms": {
+                impl: round(value * 1000, 3)
+                for impl, value in medians_s.items()
+            },
+            "speedups": speedups,
+            "detail": entry,
+        }
+        witnesses[name] = {
+            "arrivals": base_arrivals,
+            "assignments": len(base_assignments),
+            "completed": base_completed,
+            "arrangement_digest": _common.digest(base_assignments),
+        }
+    return sections, witnesses
 
 
 def drive_legacy_static(instance: LTCInstance, observe) -> tuple:
@@ -324,7 +337,7 @@ def drive_engine_static(instance: LTCInstance, solver_cls, backend) -> tuple:
     return arrangement.assignments, arrivals
 
 
-def bench_steady_state(base: LTCInstance, events, repeats, backends) -> dict:
+def bench_steady_state(base: LTCInstance, events, repeats, backends):
     """Static control: all tasks up front, no submissions, vs legacy loops.
 
     Uses the *full* task set (base plus every batch the dynamic section
@@ -339,7 +352,8 @@ def bench_steady_state(base: LTCInstance, events, repeats, backends) -> dict:
         error_rate=base.error_rate, accuracy_model=base.accuracy_model,
         name=base.name, min_assignable_accuracy=base.min_assignable_accuracy,
     )
-    section = {}
+    sections = {}
+    witnesses = {}
     cases = {
         "LAF": (legacy_laf_observe, LAFSolver),
         "AAM": (legacy_aam_observe, AAMSolver),
@@ -354,37 +368,127 @@ def bench_steady_state(base: LTCInstance, events, repeats, backends) -> dict:
                     static, cls, b
                 )
             )
-        times = {impl: [] for impl in runners}
-        outputs = {}
-        for _ in range(repeats):
-            for impl, runner in runners.items():
-                start = time.perf_counter()
-                outputs[impl] = runner()
-                times[impl].append(time.perf_counter() - start)
+        times, outputs = _common.run_interleaved(runners, repeats)
         base_assignments, base_arrivals = outputs["legacy"]
         for impl, (assignments, arrivals) in outputs.items():
             if assignments != base_assignments or arrivals != base_arrivals:
                 raise AssertionError(f"steady_state {name}/{impl} diverged")
         entry = {"arrivals": base_arrivals,
                  "assignments": len(base_assignments)}
+        medians_s = {impl: statistics.median(times[impl]) for impl in runners}
         for impl in runners:
-            median_s = statistics.median(times[impl])
-            entry[f"{impl}_ms_median"] = round(median_s * 1000, 3)
+            entry[f"{impl}_ms_median"] = round(medians_s[impl] * 1000, 3)
             entry[f"{impl}_us_per_arrival"] = round(
-                median_s * 1e6 / max(1, base_arrivals), 2
+                medians_s[impl] * 1e6 / max(1, base_arrivals), 2
             )
-        legacy_s = statistics.median(times["legacy"])
+        speedups = {}
         for backend in backends:
-            backend_s = statistics.median(times[backend])
-            entry[f"{backend}_speedup_vs_legacy"] = (
-                round(legacy_s / backend_s, 2) if backend_s > 0 else float("inf")
+            speedups[f"{backend}_vs_legacy"] = _common.ratio(
+                medians_s["legacy"], medians_s[backend]
             )
-        section[name] = entry
-    return section
+            entry[f"{backend}_speedup_vs_legacy"] = (
+                speedups[f"{backend}_vs_legacy"]
+            )
+        sections[f"steady_{name.lower()}"] = {
+            "baseline": "legacy",
+            "timings_ms": {
+                impl: round(value * 1000, 3)
+                for impl, value in medians_s.items()
+            },
+            "speedups": speedups,
+            "detail": entry,
+        }
+        witnesses[name] = {
+            "arrivals": base_arrivals,
+            "assignments": len(base_assignments),
+            "arrangement_digest": _common.digest(base_assignments),
+        }
+    return sections, witnesses
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+def run_suite(args) -> SuiteResult:
+    backends = args.backends
+    if backends is None:
+        backends = [
+            b for b in ("python", "numpy") if b in available_candidate_backends()
+        ]
+
+    base, events, box, submissions = build_workload(args)
+    total_tasks = args.tasks + submissions * args.submit_batch
+    print(f"workload: {args.tasks} initial + {submissions} x "
+          f"{args.submit_batch} submitted tasks (total {total_tasks}), "
+          f"{args.workers} arrivals, box={box:.1f}")
+
+    sections, dynamic_witnesses = bench_dynamic(base, events, args.repeats,
+                                                backends)
+    for name in ("LAF", "AAM"):
+        entry = sections[f"dynamic_{name.lower()}"]["detail"]
+        impls = [f"{kind}_{b}" for b in backends
+                 for kind in ("incremental", "rebuild")]
+        timings = "  ".join(
+            f"{impl}={entry[f'{impl}_ms_median']:>9.2f}ms" for impl in impls
+        )
+        speedups = "  ".join(
+            f"{b}={entry[f'{b}_incremental_speedup_vs_rebuild']:>5.2f}x"
+            for b in backends
+        )
+        print(f"dynamic {name:>4}  arrivals={entry['arrivals']:>6}  {timings}  "
+              f"incremental vs rebuild: {speedups}")
+
+    steady_sections, steady_witnesses = bench_steady_state(
+        base, events, args.repeats, backends
+    )
+    sections.update(steady_sections)
+    for name in ("LAF", "AAM"):
+        entry = sections[f"steady_{name.lower()}"]["detail"]
+        timings = "  ".join(
+            f"{impl}={entry[f'{impl}_us_per_arrival']:>8.1f}us"
+            for impl in ["legacy", *backends]
+        )
+        speedups = "  ".join(
+            f"{b}={entry[f'{b}_speedup_vs_legacy']:>5.2f}x" for b in backends
+        )
+        print(f"steady  {name:>4}  per-arrival  {timings}  vs legacy: "
+              f"{speedups}")
+
+    headline = {}
+    for backend in backends:
+        for name in ("laf", "aam"):
+            headline[f"{name}_incremental_{backend}_vs_rebuild"] = (
+                sections[f"dynamic_{name}"]["speedups"][
+                    f"incremental_{backend}_vs_rebuild_{backend}"
+                ]
+            )
+            headline[f"{name}_steady_{backend}_vs_legacy"] = (
+                sections[f"steady_{name}"]["speedups"][f"{backend}_vs_legacy"]
+            )
+
+    config = {
+        "initial_tasks": args.tasks,
+        "submitted_batches": submissions,
+        "submit_batch": args.submit_batch,
+        "submit_every": args.submit_every,
+        "total_tasks": total_tasks,
+        "workers": args.workers,
+        "box": round(box, 2),
+        "capacity": args.capacity,
+        "error_rate": args.error_rate,
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "backends": list(backends),
+    }
+    return SuiteResult(
+        config=config,
+        sections=sections,
+        headline_speedups=headline,
+        fingerprint_payload={
+            "dynamic": dynamic_witnesses,
+            "steady_state": steady_witnesses,
+        },
+    )
+
+
+def add_arguments(parser) -> None:
     parser.add_argument("--tasks", type=int, default=2000,
                         help="initial task set size")
     parser.add_argument("--workers", type=int, default=6000,
@@ -405,102 +509,30 @@ def main(argv=None) -> int:
     parser.add_argument("--error-rate", type=float, default=0.14)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=20180416)
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument("--backends", nargs="+", default=None,
                         help="candidate backends to time (default: all "
                              "available)")
-    args = parser.parse_args(argv)
 
-    backends = args.backends
-    if backends is None:
-        backends = [
-            b for b in ("python", "numpy") if b in available_candidate_backends()
-        ]
 
-    base, events, box, submissions = build_workload(args)
-    total_tasks = args.tasks + submissions * args.submit_batch
-    print(f"workload: {args.tasks} initial + {submissions} x "
-          f"{args.submit_batch} submitted tasks (total {total_tasks}), "
-          f"{args.workers} arrivals, box={box:.1f}")
-
-    dynamic = bench_dynamic(base, events, args.repeats, backends)
-    for name, entry in dynamic.items():
-        impls = [f"{kind}_{b}" for b in backends
-                 for kind in ("incremental", "rebuild")]
-        timings = "  ".join(
-            f"{impl}={entry[f'{impl}_ms_median']:>9.2f}ms" for impl in impls
-        )
-        speedups = "  ".join(
-            f"{b}={entry[f'{b}_incremental_speedup_vs_rebuild']:>5.2f}x"
-            for b in backends
-        )
-        print(f"dynamic {name:>4}  arrivals={entry['arrivals']:>6}  {timings}  "
-              f"incremental vs rebuild: {speedups}")
-
-    steady = bench_steady_state(base, events, args.repeats, backends)
-    for name, entry in steady.items():
-        timings = "  ".join(
-            f"{impl}={entry[f'{impl}_us_per_arrival']:>8.1f}us"
-            for impl in ["legacy", *backends]
-        )
-        speedups = "  ".join(
-            f"{b}={entry[f'{b}_speedup_vs_legacy']:>5.2f}x" for b in backends
-        )
-        print(f"steady  {name:>4}  per-arrival  {timings}  vs legacy: "
-              f"{speedups}")
-
-    report = {
-        "benchmark": "dynamic_sessions",
-        "description": (
-            "Long-lived sessions over an interleaved task/worker stream: "
-            "the incremental candidate snapshot (spill appends + lazy "
-            "tombstones + threshold grid rebuilds) vs a driver that "
-            "rebuilds the snapshot from scratch at every mid-stream task "
-            "submission (the pre-dynamic behaviour).  'steady_state' is "
-            "the static control: the same solvers with all tasks posted "
-            "up front, vs the retained pre-engine legacy observe loops. "
-            "Arrangements are asserted byte-identical in both sections."
-        ),
-        "config": {
-            "initial_tasks": args.tasks,
-            "submitted_batches": submissions,
-            "submit_batch": args.submit_batch,
-            "submit_every": args.submit_every,
-            "total_tasks": total_tasks,
-            "workers": args.workers,
-            "box": round(box, 2),
-            "capacity": args.capacity,
-            "error_rate": args.error_rate,
-            "repeats": args.repeats,
-            "seed": args.seed,
-            "backends": backends,
-            "python": platform.python_version(),
-        },
-        "dynamic": dynamic,
-        "steady_state": steady,
-        "headline_speedups": {
-            backend: {
-                "LAF_incremental_vs_rebuild": dynamic["LAF"][
-                    f"{backend}_incremental_speedup_vs_rebuild"
-                ],
-                "AAM_incremental_vs_rebuild": dynamic["AAM"][
-                    f"{backend}_incremental_speedup_vs_rebuild"
-                ],
-                "LAF_steady_vs_legacy": steady["LAF"][
-                    f"{backend}_speedup_vs_legacy"
-                ],
-                "AAM_steady_vs_legacy": steady["AAM"][
-                    f"{backend}_speedup_vs_legacy"
-                ],
-            }
-            for backend in backends
-        },
-    }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=1) + "\n")
-    print(f"wrote {args.output}")
-    return 0
+SUITE = _common.register_suite(BenchSuite(
+    name="dynamic_sessions",
+    description=(
+        "Long-lived sessions over an interleaved task/worker stream: "
+        "the incremental candidate snapshot (spill appends + lazy "
+        "tombstones + threshold grid rebuilds) vs a driver that "
+        "rebuilds the snapshot from scratch at every mid-stream task "
+        "submission (the pre-dynamic behaviour).  'steady_*' is "
+        "the static control: the same solvers with all tasks posted "
+        "up front, vs the retained pre-engine legacy observe loops. "
+        "Arrangements are asserted byte-identical in both sections."
+    ),
+    default_output=DEFAULT_OUTPUT,
+    add_arguments=add_arguments,
+    run=run_suite,
+    smoke_overrides={"tasks": 120, "workers": 1500, "degree": 40.0,
+                     "submit_batch": 15, "submit_every": 60, "repeats": 2},
+))
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_common.suite_main(SUITE))

@@ -22,36 +22,41 @@ case: the kernel backends must agree with the reference on flow value and
 cost, and with each other on the exact per-arc flows.  A separate *dense*
 section times python vs numpy on high-degree reductions whose rows are
 long enough for the numpy backend's vector path (the reference is omitted
-there — its O(V*E) Bellman-Ford would dominate the wall-clock).  Results
-(median wall-times per size, augmentation counts, speedups) are written as
-one combined JSON — by default to ``BENCH_flow_kernel.json`` at the repo
-root.
+there — its O(V*E) Bellman-Ford would dominate the wall-clock).
+
+The suite registers with the shared registry in :mod:`_common`, reports
+in the shared schema (``sections`` / ``headline_speedups`` / exactness
+``fingerprint``), and is normally run through
+``benchmarks/bench_all.py``; standalone it writes
+``BENCH_flow_kernel.json`` at the repo root (or a smoke report under
+``benchmarks/results/`` with ``--smoke``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_flow_kernel.py
     PYTHONPATH=src python benchmarks/bench_flow_kernel.py \
-        --sizes 20 40 --repeats 2 --output benchmarks/results/flow_kernel_smoke.json
+        --sizes 20 40 --repeats 2 --dense-sizes \
+        --output benchmarks/results/flow_kernel_smoke.json
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import math
-import platform
 import random
 import statistics
 import sys
-import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import _common
+from _common import BenchSuite, SuiteResult
 
 from repro.flow.backends import available_backends
 from repro.flow.kernel import ArcArena, dag_potentials, solve_mcf
 from repro.flow.reference import LegacyFlowNetwork, legacy_successive_shortest_paths
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_flow_kernel.json"
+DEFAULT_OUTPUT = _common.REPO_ROOT / "BENCH_flow_kernel.json"
 
 # Shape parameters mirroring a paper-default batch: epsilon = 0.14 gives
 # delta = 2 ln(1/0.14) ~= 3.93, so every task absorbs ceil(delta) = 4 useful
@@ -119,7 +124,8 @@ def bench_size(
     backends,
     degree: int = DEGREE,
     include_reference: bool = True,
-) -> dict:
+):
+    """One batch size; returns ``(entry, medians_s)`` per implementation."""
     num_tasks, pairs = build_case(num_workers, seed, degree=degree)
     runners = {}
     if include_reference:
@@ -129,15 +135,7 @@ def bench_size(
             lambda b=backend: run_kernel(num_workers, num_tasks, pairs, b)
         )
 
-    # Interleave the implementations so slow background drift (GC, other
-    # processes) hits every phase equally instead of whichever ran last.
-    times = {name: [] for name in runners}
-    outputs = {}
-    for _ in range(repeats):
-        for name, runner in runners.items():
-            start = time.perf_counter()
-            outputs[name] = runner()
-            times[name].append(time.perf_counter() - start)
+    times, outputs = _common.run_interleaved(runners, repeats)
 
     baseline_name = next(iter(runners))
     base_value, base_cost, _base_augs, _ = outputs[baseline_name]
@@ -171,53 +169,66 @@ def bench_size(
     }
     if include_reference:
         entry["reference_augmentations"] = outputs["reference"][2]
+    medians_s = {name: statistics.median(times[name]) for name in runners}
     for name in runners:
-        median_s = statistics.median(times[name])
-        entry[f"{name}_ms_median"] = round(median_s * 1000, 3)
+        entry[f"{name}_ms_median"] = round(medians_s[name] * 1000, 3)
         entry[f"{name}_ms_best"] = round(min(times[name]) * 1000, 3)
     if include_reference:
-        ref_s = statistics.median(times["reference"])
         for backend in backends:
-            backend_s = statistics.median(times[backend])
-            entry[f"{backend}_speedup_vs_reference"] = (
-                round(ref_s / backend_s, 2) if backend_s > 0 else float("inf")
+            entry[f"{backend}_speedup_vs_reference"] = _common.ratio(
+                medians_s["reference"], medians_s[backend]
             )
     if "python" in backends and "numpy" in backends:
-        py_s = statistics.median(times["python"])
-        np_s = statistics.median(times["numpy"])
-        entry["numpy_speedup_vs_python"] = (
-            round(py_s / np_s, 2) if np_s > 0 else float("inf")
+        entry["numpy_speedup_vs_python"] = _common.ratio(
+            medians_s["python"], medians_s["numpy"]
         )
-    return entry
+    return entry, medians_s
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--sizes", type=int, nargs="+", default=[50, 200, 800],
-                        help="batch sizes (workers) to benchmark")
-    parser.add_argument("--repeats", type=int, default=5,
-                        help="timed repetitions per size (median reported)")
-    parser.add_argument("--seed", type=int, default=20180416)
-    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
-                        help="where to write the JSON report")
-    parser.add_argument("--backends", nargs="+", default=None,
-                        help="kernel backends to time (default: all available)")
-    parser.add_argument("--dense-sizes", type=int, nargs="*", default=[250],
-                        help="batch sizes for the dense (vectorization-regime) "
-                             "section; empty to skip")
-    parser.add_argument("--dense-degree", type=int, default=370,
-                        help="eligible tasks per worker in the dense section "
-                             "(rows long enough for the numpy vector path)")
-    args = parser.parse_args(argv)
+def _section(cases, totals_s, baseline: str, backends) -> dict:
+    """Assemble one timed section: summed medians + summed-time speedups."""
+    impls = [baseline] + [b for b in backends if b != baseline]
+    return {
+        "baseline": baseline,
+        "timings_ms": {
+            impl: round(totals_s[impl] * 1000, 3) for impl in impls
+        },
+        "speedups": {
+            f"{impl}_vs_{baseline}": _common.ratio(
+                totals_s[baseline], totals_s[impl]
+            )
+            for impl in impls
+            if impl != baseline
+        },
+        "cases": cases,
+    }
 
+
+def run_suite(args) -> SuiteResult:
     backends = args.backends
     if backends is None:
         backends = [b for b in ("python", "numpy") if b in available_backends()]
 
+    sections = {}
+    fingerprint_cases = []
+
     results = []
+    totals_s = {impl: 0.0 for impl in ["reference", *backends]}
     for size in args.sizes:
-        entry = bench_size(size, args.repeats, args.seed, backends)
+        entry, medians_s = bench_size(size, args.repeats, args.seed, backends)
         results.append(entry)
+        for impl, value in medians_s.items():
+            totals_s[impl] += value
+        fingerprint_cases.append({
+            "section": "sparse",
+            "batch_workers": entry["batch_workers"],
+            "tasks": entry["tasks"],
+            "pair_arcs": entry["pair_arcs"],
+            "flow_value": entry["flow_value"],
+            "total_cost": round(entry["total_cost"], 9),
+            "augmentations": entry["augmentations"],
+            "reference_augmentations": entry["reference_augmentations"],
+        })
         timings = "  ".join(
             f"{name}={entry[f'{name}_ms_median']:>9.2f}ms"
             for name in ["reference", *backends]
@@ -230,18 +241,31 @@ def main(argv=None) -> int:
             f"{timings}  speedup: {speedups}  "
             f"augmentations={entry['augmentations']}"
         )
+    sections["sparse"] = _section(results, totals_s, "reference", backends)
 
     # Dense section: rows long enough for the numpy backend's vector path
     # (the LTC default of ~12 eligible tasks per worker stays on the scalar
     # path by design).  The O(V*E) reference would take minutes here and
     # is omitted; the comparison of interest is python vs numpy.
     dense_results = []
+    dense_totals_s = {impl: 0.0 for impl in backends}
     for size in args.dense_sizes:
-        entry = bench_size(
+        entry, medians_s = bench_size(
             size, args.repeats, args.seed, backends,
             degree=args.dense_degree, include_reference=False,
         )
         dense_results.append(entry)
+        for impl, value in medians_s.items():
+            dense_totals_s[impl] += value
+        fingerprint_cases.append({
+            "section": "dense",
+            "batch_workers": entry["batch_workers"],
+            "tasks": entry["tasks"],
+            "pair_arcs": entry["pair_arcs"],
+            "flow_value": entry["flow_value"],
+            "total_cost": round(entry["total_cost"], 9),
+            "augmentations": entry["augmentations"],
+        })
         timings = "  ".join(
             f"{name}={entry[f'{name}_ms_median']:>9.2f}ms" for name in backends
         )
@@ -251,41 +275,75 @@ def main(argv=None) -> int:
             f"{timings}"
             + (f"  numpy_vs_python={ratio:>5.2f}x" if ratio is not None else "")
         )
+    if dense_results and len(backends) > 1:
+        # With a single backend there is nothing to compare the dense rows
+        # against (the reference is deliberately excluded there).
+        sections["dense"] = _section(
+            dense_results, dense_totals_s, "python",
+            [b for b in backends if b != "python"],
+        )
 
-    report = {
-        "benchmark": "flow_kernel",
-        "description": (
-            "Per-batch MCF-LTC flow solve: the array kernel (ArcArena + DAG "
-            "potentials + solve_mcf) on each registered backend (python, "
-            "numpy) vs the pre-refactor object-graph SSPA (Edge objects, "
-            "dict adjacency, Bellman-Ford). Times are medians over repeated "
-            "interleaved build+solve runs; all implementations are asserted "
-            "to agree on every case."
-        ),
-        "config": {
-            "sizes": args.sizes,
-            "repeats": args.repeats,
-            "seed": args.seed,
-            "capacity": CAPACITY,
-            "task_need": TASK_NEED,
-            "degree": DEGREE,
-            "dense_sizes": args.dense_sizes,
-            "dense_degree": args.dense_degree,
-            "backends": backends,
-            "python": platform.python_version(),
-        },
-        "results": results,
-        "dense_results": dense_results,
-        "largest_batch_speedups": {
-            backend: results[-1][f"{backend}_speedup_vs_reference"]
-            for backend in backends
-        } if results else None,
+    headline = {
+        f"sparse_{backend}_vs_reference":
+            sections["sparse"]["speedups"][f"{backend}_vs_reference"]
+        for backend in backends
     }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=1) + "\n")
-    print(f"wrote {args.output}")
-    return 0
+    if "dense" in sections and "numpy_vs_python" in sections["dense"]["speedups"]:
+        headline["dense_numpy_vs_python"] = (
+            sections["dense"]["speedups"]["numpy_vs_python"]
+        )
+
+    config = {
+        "sizes": list(args.sizes),
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "capacity": CAPACITY,
+        "task_need": TASK_NEED,
+        "degree": DEGREE,
+        "dense_sizes": list(args.dense_sizes),
+        "dense_degree": args.dense_degree,
+        "backends": list(backends),
+    }
+    return SuiteResult(
+        config=config,
+        sections=sections,
+        headline_speedups=headline,
+        fingerprint_payload=fingerprint_cases,
+    )
+
+
+def add_arguments(parser) -> None:
+    parser.add_argument("--sizes", type=int, nargs="+", default=[50, 200, 800],
+                        help="batch sizes (workers) to benchmark")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per size (median reported)")
+    parser.add_argument("--seed", type=int, default=20180416)
+    parser.add_argument("--backends", nargs="+", default=None,
+                        help="kernel backends to time (default: all available)")
+    parser.add_argument("--dense-sizes", type=int, nargs="*", default=[250],
+                        help="batch sizes for the dense (vectorization-regime) "
+                             "section; empty to skip")
+    parser.add_argument("--dense-degree", type=int, default=370,
+                        help="eligible tasks per worker in the dense section "
+                             "(rows long enough for the numpy vector path)")
+
+
+SUITE = _common.register_suite(BenchSuite(
+    name="flow_kernel",
+    description=(
+        "Per-batch MCF-LTC flow solve: the array kernel (ArcArena + DAG "
+        "potentials + solve_mcf) on each registered backend (python, "
+        "numpy) vs the pre-refactor object-graph SSPA (Edge objects, "
+        "dict adjacency, Bellman-Ford). Times are medians over repeated "
+        "interleaved build+solve runs; all implementations are asserted "
+        "to agree on every case."
+    ),
+    default_output=DEFAULT_OUTPUT,
+    add_arguments=add_arguments,
+    run=run_suite,
+    smoke_overrides={"sizes": [20, 40], "repeats": 2, "dense_sizes": []},
+))
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_common.suite_main(SUITE))

@@ -1,10 +1,19 @@
 """Shared helpers for the figure-regeneration benchmarks.
 
-Every benchmark regenerates one figure column of the paper (latency, runtime
-and memory series for all five algorithms) at the experiment's scaled-down
-default size, renders the same tables the paper plots, writes them to
+This conftest serves only the pytest-benchmark suites that regenerate the
+paper's figures (``test_fig*.py``, ``test_ablation*.py``): each one
+re-measures a figure column (latency, runtime and memory series for all
+five algorithms) at the experiment's scaled-down default size, renders
+the same tables the paper plots, writes them to
 ``benchmarks/results/<experiment_id>.txt`` and checks the measured shapes
 against the qualitative claims extracted from the paper.
+
+The microbenchmark *scripts* in this directory (``bench_flow_kernel.py``,
+``bench_candidates.py``, ``bench_dynamic_sessions.py``,
+``bench_dispatch_scale.py``) do not use pytest at all — they are thin
+suites registered with :mod:`_common` and orchestrated by
+``bench_all.py``, which emits the committed ``BENCH_*.json`` reports and
+drives the CI perf-regression gate (see ``docs/benchmarks.md``).
 
 Environment knobs:
 

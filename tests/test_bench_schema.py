@@ -1,0 +1,117 @@
+"""Every committed benchmark report must follow the shared schema.
+
+``benchmarks/_common.py`` defines one report shape for every
+``BENCH_*.json`` (benchmark name, config, sections with timings and
+speedups-vs-named-baseline, headline speedups, environment block,
+exactness fingerprint); the consolidated ``BENCH_all.json`` and the
+committed smoke baseline add per-suite ``fingerprints``/``config.suites``
+and ``<suite>.<section>`` namespacing.  These tests run
+``_common.validate_report`` over every report checked into the repo so a
+hand-edited or stale-schema report fails CI before the regression gate
+ever reads it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import _common  # noqa: E402
+
+SUITE_REPORTS = sorted(
+    path for path in REPO_ROOT.glob("BENCH_*.json")
+    if path.name != "BENCH_all.json"
+)
+CONSOLIDATED_REPORTS = [
+    REPO_ROOT / "BENCH_all.json",
+    _common.SMOKE_BASELINE,
+]
+
+
+def test_expected_reports_are_committed():
+    names = {path.name for path in SUITE_REPORTS}
+    assert {
+        "BENCH_flow_kernel.json",
+        "BENCH_candidates.json",
+        "BENCH_dynamic_sessions.json",
+        "BENCH_dispatch_scale.json",
+    } <= names
+    for path in CONSOLIDATED_REPORTS:
+        assert path.is_file(), f"missing committed report {path}"
+
+
+@pytest.mark.parametrize(
+    "path", SUITE_REPORTS, ids=lambda path: path.name
+)
+def test_suite_report_matches_schema(path):
+    report = json.loads(path.read_text())
+    problems = _common.validate_report(report)
+    assert not problems, f"{path.name}: {problems}"
+
+
+@pytest.mark.parametrize(
+    "path", CONSOLIDATED_REPORTS, ids=lambda path: path.name
+)
+def test_consolidated_report_matches_schema(path):
+    report = json.loads(path.read_text())
+    problems = _common.validate_report(report, consolidated=True)
+    assert not problems, f"{path.name}: {problems}"
+
+
+def test_suite_reports_name_registered_suites():
+    """Each committed per-suite report belongs to a registered suite."""
+    import bench_all  # noqa: F401  (importing registers every suite)
+
+    registered = set(_common.registered_suites())
+    for path in SUITE_REPORTS:
+        report = json.loads(path.read_text())
+        assert report["benchmark"] in registered, (
+            f"{path.name} names unregistered suite {report['benchmark']!r}"
+        )
+        assert path.name == f"BENCH_{report['benchmark']}.json"
+
+
+def test_consolidated_covers_every_registered_suite():
+    import bench_all  # noqa: F401
+
+    registered = set(_common.registered_suites())
+    for path in CONSOLIDATED_REPORTS:
+        report = json.loads(path.read_text())
+        assert set(report["fingerprints"]) == registered, path.name
+        assert set(report["config"]["suites"]) == registered, path.name
+        suites_with_sections = {
+            name.split(".", 1)[0] for name in report["sections"]
+        }
+        assert suites_with_sections == registered, path.name
+
+
+def test_validate_report_rejects_broken_reports():
+    """The validator itself catches the failure modes it exists for."""
+    good = json.loads((REPO_ROOT / "BENCH_flow_kernel.json").read_text())
+    assert _common.validate_report(good) == []
+
+    assert _common.validate_report([]) != []
+
+    missing_env = dict(good)
+    missing_env.pop("environment")
+    assert any("environment" in p
+               for p in _common.validate_report(missing_env))
+
+    bad_mode = dict(good, mode="quick")
+    assert any("mode" in p for p in _common.validate_report(bad_mode))
+
+    bad_section = json.loads(json.dumps(good))
+    first = next(iter(bad_section["sections"].values()))
+    first.pop("speedups")
+    assert any("speedups" in p
+               for p in _common.validate_report(bad_section))
+
+    # A consolidated report must namespace sections and carry per-suite
+    # fingerprints; a single-suite report fails the consolidated check.
+    assert _common.validate_report(good, consolidated=True) != []

@@ -41,8 +41,9 @@ def test_docs_exist():
     assert (REPO_ROOT / "docs" / "candidates.md").is_file()
     assert (REPO_ROOT / "docs" / "sessions.md").is_file()
     assert (REPO_ROOT / "docs" / "dispatch.md").is_file()
-    # README + index + the five subsystem docs, all in the link matrix.
-    assert len(DOC_FILES) >= 7
+    assert (REPO_ROOT / "docs" / "benchmarks.md").is_file()
+    # README + index + the six subsystem docs, all in the link matrix.
+    assert len(DOC_FILES) >= 8
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
