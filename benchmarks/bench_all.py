@@ -1,8 +1,9 @@
 """Unified benchmark orchestrator with a perf-regression gate.
 
 Runs every registered microbenchmark suite (``flow_kernel``,
-``candidates``, ``dynamic_sessions``, ``dispatch_scale`` — each a thin
-module over :mod:`_common`) through one command and emits one
+``candidates``, ``dynamic_sessions``, ``dispatch_scale``,
+``resilience`` — each a thin module over :mod:`_common`) through one
+command and emits one
 consolidated report in the shared schema: per-section median timings and
 speedups-vs-named-baseline under ``"<suite>.<section>"`` keys, per-suite
 exactness fingerprints, and one environment block (python/numpy
@@ -55,6 +56,7 @@ import bench_flow_kernel  # noqa: F401
 import bench_candidates  # noqa: F401
 import bench_dynamic_sessions  # noqa: F401
 import bench_dispatch_scale  # noqa: F401
+import bench_resilience  # noqa: F401
 
 DESCRIPTION = (
     "One consolidated run of every registered microbenchmark suite: "

@@ -12,6 +12,11 @@ traffic geographically — one dispatcher per shard behind a bounded,
 backpressure-aware arrival queue (:class:`ShardedDispatcher`) — and
 :mod:`repro.service.loadgen` generates seeded, replayable multi-city
 worker streams for load testing (``benchmarks/bench_dispatch_scale.py``).
+:mod:`repro.service.recovery` makes the sharded runtime fault-tolerant —
+per-shard arrival journals, restart/quarantine policies under a shard
+supervisor — and :mod:`repro.service.faults` provides the deterministic,
+seeded fault injection the chaos differential suite (and
+``benchmarks/bench_resilience.py``) drives it with.
 
 See ``examples/dispatch_service.py`` for an end-to-end scenario serving
 concurrent campaigns from a single merged check-in stream, and
@@ -24,6 +29,14 @@ from repro.service.dispatcher import (
     SessionStatus,
     UnknownSessionError,
 )
+from repro.service.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedShardCrash,
+    TransientSolverError,
+)
 from repro.service.loadgen import (
     BurstWindow,
     ReplayConfig,
@@ -31,6 +44,14 @@ from repro.service.loadgen import (
     build_workload,
 )
 from repro.service.metrics import DispatcherMetrics
+from repro.service.recovery import (
+    FAILURE_POLICIES,
+    ArrivalJournal,
+    JournalReplayError,
+    RecoveryEvent,
+    RecoveryPolicy,
+    ShardSupervisor,
+)
 from repro.service.sharding import (
     BoundedArrivalQueue,
     QueueClosedError,
@@ -56,4 +77,16 @@ __all__ = [
     "ReplayWorkload",
     "BurstWindow",
     "build_workload",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedShardCrash",
+    "TransientSolverError",
+    "FAULT_KINDS",
+    "RecoveryPolicy",
+    "RecoveryEvent",
+    "ShardSupervisor",
+    "ArrivalJournal",
+    "JournalReplayError",
+    "FAILURE_POLICIES",
 ]

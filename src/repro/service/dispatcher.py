@@ -361,6 +361,30 @@ class LTCDispatcher:
         """Aggregate serving counters (live object)."""
         return self._metrics
 
+    # ------------------------------------------------------------ migration
+
+    def adopt_sessions(self, donor: "LTCDispatcher") -> List[str]:
+        """Take over every open session of ``donor`` (quarantine migration).
+
+        Managed sessions move wholesale — live solver state, routing
+        snapshot, routed-stream history and all — and the donor's metrics
+        fold into this dispatcher's, leaving the donor empty.  Session ids
+        must not collide (the sharded runtime keeps ids globally unique).
+        Returns the adopted ids in the donor's submission order.
+        """
+        adopted = list(donor._sessions)
+        for session_id in adopted:
+            if session_id in self._sessions:
+                raise DuplicateSessionError(
+                    f"cannot adopt session {session_id!r}: the id is already "
+                    "in use here"
+                )
+        self._sessions.update(donor._sessions)
+        self._metrics.merge(donor._metrics)
+        donor._sessions = {}
+        donor._metrics = DispatcherMetrics()
+        return adopted
+
     # -------------------------------------------------------------- closing
 
     def close(self, session_id: str) -> SolveResult:

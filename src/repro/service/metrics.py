@@ -51,6 +51,19 @@ class DispatcherMetrics:
         eligibility region, or all sessions already complete).
     assignments_made:
         Total (worker, task) assignments committed across all sessions.
+    restarts:
+        Shard restarts performed by the recovery layer (journal replays
+        that rebuilt a dead shard's dispatcher).  Always 0 for a plain
+        single-process dispatcher.
+    replayed_arrivals:
+        Worker arrivals re-fed from a shard journal during restart or
+        quarantine recovery.  These do **not** double-count into
+        ``workers_fed``-style traffic totals at the sharded level: a
+        restarted shard's counters are rebuilt *by* the replay, replacing
+        (not adding to) the dead dispatcher's counters.
+    quarantined_sessions:
+        Sessions migrated to the overflow shard because their home shard
+        was quarantined after a failure.
     busy_seconds:
         Clock time spent inside the dispatch hot path, measured with the
         dispatcher's injected clock (wall clock by default).
@@ -66,6 +79,9 @@ class DispatcherMetrics:
     workers_routed: int = 0
     workers_unrouted: int = 0
     assignments_made: int = 0
+    restarts: int = 0
+    replayed_arrivals: int = 0
+    quarantined_sessions: int = 0
     busy_seconds: float = 0.0
 
     @property
@@ -118,6 +134,9 @@ class DispatcherMetrics:
             "workers_routed": float(self.workers_routed),
             "workers_unrouted": float(self.workers_unrouted),
             "assignments_made": float(self.assignments_made),
+            "restarts": float(self.restarts),
+            "replayed_arrivals": float(self.replayed_arrivals),
+            "quarantined_sessions": float(self.quarantined_sessions),
             "busy_seconds": self.busy_seconds,
             "routed_fraction": self.routed_fraction,
             "throughput_per_second": self.throughput_per_second,

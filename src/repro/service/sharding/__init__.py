@@ -20,6 +20,7 @@ harness that sweeps shard counts.
 
 from repro.service.sharding.dispatcher import (
     EXECUTORS,
+    SHARD_STATES,
     ShardAffinityError,
     ShardedDispatcher,
     ShardStatus,
@@ -44,6 +45,7 @@ __all__ = [
     "QueueClosedError",
     "BACKPRESSURE_POLICIES",
     "EXECUTORS",
+    "SHARD_STATES",
     "instance_reach_radius",
     "tasks_reach_bounds",
 ]

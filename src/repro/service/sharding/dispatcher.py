@@ -30,14 +30,38 @@ open session per arrival.  Sharding cuts that to the sessions of one shard
 count even single-threaded — that is the honest speedup the benchmark
 measures with the ``"serial"`` executor; the ``"thread"`` executor adds
 pipeline concurrency across shards on top.
+
+**Fault tolerance.**  A shard failure (any exception escaping its
+dispatch attempt, including injected ones — see
+:mod:`repro.service.faults`) is resolved by the configured
+:class:`~repro.service.recovery.RecoveryPolicy`:
+
+* ``"fail-fast"`` (the default) parks the error (surfaced at the next
+  :meth:`drain` / :meth:`stop`), marks the shard *failed*, flushes its
+  queue, and discards subsequent arrivals routed to it — every lost
+  arrival is counted (:attr:`ShardStatus.arrivals_discarded`);
+* ``"restart"`` rebuilds the shard's dispatcher by replaying its
+  :class:`~repro.service.recovery.ArrivalJournal` — byte-identical by
+  the same FIFO argument as above, so a lossless run *with mid-stream
+  crashes* still matches the single-process oracle (the chaos
+  differential suite enforces this) — subject to a per-shard restart
+  budget and deterministic backoff;
+* ``"quarantine"`` rebuilds the shard's sessions once (same replay) and
+  migrates them to the overflow shard; the geo shard stops serving and
+  its subsequent traffic is discarded (counted).
+
+Journals are kept exactly when the policy can need a replay, so
+``fail-fast`` pays zero journaling overhead
+(``benchmarks/bench_resilience.py`` prices the rest).
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.base import Solver, SolveResult
 from repro.algorithms.spec import SolverSpecLike
@@ -52,12 +76,25 @@ from repro.service.dispatcher import (
     SessionStatus,
     UnknownSessionError,
 )
+from repro.service.faults import FaultInjector, FaultPlan, TransientSolverError
 from repro.service.metrics import DispatcherMetrics
+from repro.service.recovery import (
+    ArrivalJournal,
+    RecoveryEvent,
+    RecoveryPolicy,
+    ShardSupervisor,
+)
 from repro.service.sharding.plan import ShardPlan, tasks_reach_bounds
 from repro.service.sharding.queueing import BoundedArrivalQueue
 
 #: The accepted executor names.
 EXECUTORS = ("serial", "thread")
+
+#: Shard lifecycle states, in the order a shard can move through them.
+SHARD_STATES: Tuple[str, ...] = ("live", "recovering", "quarantined", "failed")
+
+#: States in which a shard no longer accepts or processes traffic.
+_INACTIVE_STATES = ("quarantined", "failed")
 
 
 class ShardAffinityError(ValueError):
@@ -77,6 +114,18 @@ class ShardStatus:
     arrivals_accepted: int
     arrivals_shed: int
     arrivals_processed: int
+    #: Lifecycle state, one of :data:`SHARD_STATES`.
+    state: str = "live"
+    #: Restarts this shard has consumed (``on_shard_failure="restart"``).
+    restarts: int = 0
+    #: ``repr`` of the shard's most recent failure, if any.
+    last_error: Optional[str] = None
+    #: Arrivals lost to the failure path (queue flushes on shard death plus
+    #: arrivals routed to a dead shard) — distinct from backpressure
+    #: ``arrivals_shed``.
+    arrivals_discarded: int = 0
+    #: Entries in the shard's recovery journal (0 when journaling is off).
+    journal_entries: int = 0
 
     @property
     def is_overflow(self) -> bool:
@@ -97,6 +146,12 @@ class _ShardRuntime:
     #: Per-arrival routing latencies (seconds), recorded when enabled.
     latencies: List[float] = field(default_factory=list)
     error: Optional[BaseException] = None
+    #: Lifecycle state, one of :data:`SHARD_STATES`; guarded by ``lock``.
+    state: str = "live"
+    #: The recovery journal (``None`` when the policy needs no replay).
+    journal: Optional[ArrivalJournal] = None
+    #: Arrivals lost to the failure path; guarded by ``lock``.
+    discarded: int = 0
 
 
 class ShardedDispatcher:
@@ -121,6 +176,16 @@ class ShardedDispatcher:
         :class:`~repro.service.sharding.BoundedArrivalQueue`).  Only the
         lossless ``"block"`` policy preserves byte-identity with a
         single-process dispatcher.
+    recovery:
+        A :class:`~repro.service.recovery.RecoveryPolicy` (or a prebuilt
+        :class:`~repro.service.recovery.ShardSupervisor`, e.g. with an
+        injected backoff sleep) deciding what a shard failure does.
+        Defaults to fail-fast; see the module docstring.
+    faults:
+        A :class:`~repro.service.faults.FaultPlan` (or prebuilt
+        :class:`~repro.service.faults.FaultInjector`) scheduling
+        deterministic faults for chaos testing.  ``None`` (the default)
+        injects nothing and skips the hook points entirely.
     autostart:
         Start the runtime on construction.  Pass ``False`` to enqueue
         traffic before any processing happens — tests use this to fill
@@ -141,6 +206,8 @@ class ShardedDispatcher:
         keep_streams: bool = False,
         candidates: Optional[str] = None,
         clock: Optional[Callable[[], float]] = None,
+        recovery: Union[RecoveryPolicy, ShardSupervisor, None] = None,
+        faults: Union[FaultPlan, FaultInjector, None] = None,
         autostart: bool = True,
         record_latencies: bool = False,
     ) -> None:
@@ -155,16 +222,33 @@ class ShardedDispatcher:
             clock if clock is not None else time.perf_counter
         )
         self._record_latencies = record_latencies
+        self._default_solver = default_solver
+        self._keep_streams = keep_streams
+        self._candidates_backend = candidates
+        if isinstance(recovery, ShardSupervisor):
+            self._supervisor = recovery
+        else:
+            self._supervisor = ShardSupervisor(
+                recovery if recovery is not None else RecoveryPolicy()
+            )
+        self._policy = self._supervisor.policy
+        if isinstance(faults, FaultPlan):
+            self._injector: Optional[FaultInjector] = faults.injector()
+        else:
+            self._injector = faults
+        if self._injector is not None:
+            rogue = set(self._injector.plan.shard_ids) - set(plan.shard_ids)
+            if rogue:
+                raise ValueError(
+                    f"fault plan targets shard(s) {sorted(rogue)} outside the "
+                    f"shard plan (0..{plan.overflow_shard})"
+                )
         self._shards: Dict[int, _ShardRuntime] = {
             shard_id: _ShardRuntime(
                 shard_id=shard_id,
-                dispatcher=LTCDispatcher(
-                    default_solver=default_solver,
-                    keep_streams=keep_streams,
-                    candidates=candidates,
-                    clock=self._clock,
-                ),
+                dispatcher=self._make_dispatcher(),
                 queue=BoundedArrivalQueue(queue_capacity, queue_policy),
+                journal=ArrivalJournal() if self._policy.journaling else None,
             )
             for shard_id in plan.shard_ids
         }
@@ -172,6 +256,12 @@ class ShardedDispatcher:
         self._auto_id = 0
         self._arrivals_offered = 0
         self._control = threading.Lock()
+        #: Signalled (with the control lock) after a quarantine migration
+        #: remaps sessions, so control-plane calls racing the migration can
+        #: re-resolve instead of spinning.
+        self._migrated = threading.Condition(self._control)
+        self._fault_metrics = DispatcherMetrics()
+        self._recovery_events: List[RecoveryEvent] = []
         self._started = False
         self._stopped = False
         if autostart:
@@ -190,6 +280,10 @@ class ShardedDispatcher:
     @property
     def started(self) -> bool:
         return self._started
+
+    @property
+    def recovery_policy(self) -> RecoveryPolicy:
+        return self._policy
 
     def start(self) -> None:
         """Start processing queued arrivals (idempotent).
@@ -221,39 +315,54 @@ class ShardedDispatcher:
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait until every accepted arrival has been processed.
 
-        Under ``"serial"`` any backlog is processed inline first.  Returns
-        whether the queues fully drained within ``timeout`` (always
-        ``True`` for serial).  Re-raises the first error a shard loop hit.
+        Under ``"serial"`` any backlog is processed inline first.
+        ``timeout`` is a **shared deadline budget** across all shards, not
+        a per-shard allowance — the call returns within ``timeout``
+        seconds however many shards are behind.  Returns whether every
+        queue fully drained in time.  Re-raises the first error a shard
+        loop parked (fail-fast failures surface here).
         """
         if not self._started:
             raise RuntimeError("start() the ShardedDispatcher before drain()")
         if self._executor == "serial":
             for runtime in self._shards.values():
                 self._drain_inline(runtime)
-        drained = all(
-            runtime.queue.join(timeout=timeout)
-            for runtime in self._shards.values()
-        )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        drained = True
+        for runtime in self._shards.values():
+            if deadline is None:
+                drained = runtime.queue.join() and drained
+            else:
+                remaining = max(0.0, deadline - time.monotonic())
+                drained = runtime.queue.join(timeout=remaining) and drained
         self._reraise_shard_errors()
         return drained
 
     def stop(self, drain: bool = True) -> None:
         """Stop the runtime: optionally drain, close queues, join threads.
 
-        Idempotent.  After ``stop()`` the control plane (poll/close/result)
-        keeps working, but further arrivals are refused.
+        Idempotent and exception-safe: queues are closed and drain threads
+        joined even when draining re-raises a parked shard error, so the
+        runtime never stays half-alive.  Active fault-injection stalls are
+        released first (a stalled shard could never drain).  After
+        ``stop()`` the control plane (poll/close/result) keeps working,
+        but further arrivals are refused.
         """
         if self._stopped:
             return
-        if drain and self._started:
-            self.drain()
-        self._stopped = True
-        for runtime in self._shards.values():
-            runtime.queue.close()
-        if self._executor == "thread" and self._started:
+        if self._injector is not None:
+            self._injector.release_stalls()
+        try:
+            if drain and self._started:
+                self.drain()
+        finally:
+            self._stopped = True
             for runtime in self._shards.values():
-                if runtime.thread is not None:
-                    runtime.thread.join()
+                runtime.queue.close()
+            if self._executor == "thread" and self._started:
+                for runtime in self._shards.values():
+                    if runtime.thread is not None:
+                        runtime.thread.join()
         self._reraise_shard_errors()
 
     def _reraise_shard_errors(self) -> None:
@@ -280,6 +389,10 @@ class ShardedDispatcher:
         (:class:`ShardAffinityError` if it does not fit that cell), the
         overflow shard accepts anything.  Session ids are unique across
         the *whole* runtime, not per shard.
+
+        A plan-chosen shard that is quarantined or failed falls back to
+        the overflow shard; an explicit override naming a dead shard
+        raises :class:`RuntimeError` instead.
         """
         with self._control:
             if session_id is None:
@@ -289,6 +402,7 @@ class ShardedDispatcher:
                 raise DuplicateSessionError(
                     f"session id {session_id!r} is already in use"
                 )
+            explicit = shard_id is not None
             if shard_id is None:
                 shard_id = self._plan.shard_for_instance(instance)
             else:
@@ -305,13 +419,48 @@ class ShardedDispatcher:
                             f"campaign reach box does not fit shard {shard_id}'s "
                             "cell; pin it to the overflow shard instead"
                         )
-            runtime = self._shards[shard_id]
-            with runtime.lock:
-                runtime.dispatcher.submit_instance(
-                    instance, solver=solver, session_id=session_id
-                )
+            if not self._try_open(self._shards[shard_id], instance, solver,
+                                  session_id):
+                if explicit:
+                    raise RuntimeError(
+                        f"shard {shard_id} is "
+                        f"{self._shards[shard_id].state}; it accepts no new "
+                        "sessions"
+                    )
+                shard_id = self._plan.overflow_shard
+                if not self._try_open(self._shards[shard_id], instance, solver,
+                                      session_id):
+                    raise RuntimeError(
+                        "the overflow shard is "
+                        f"{self._shards[shard_id].state}; no shard can serve "
+                        "this campaign"
+                    )
             self._shard_of_session[session_id] = shard_id
             return session_id
+
+    def _try_open(
+        self,
+        runtime: _ShardRuntime,
+        instance: LTCInstance,
+        solver: Union[SolverSpecLike, Solver, None],
+        session_id: str,
+    ) -> bool:
+        """Open a session on ``runtime`` unless it stopped serving."""
+        with runtime.lock:
+            if runtime.state in _INACTIVE_STATES:
+                return False
+            runtime.dispatcher.submit_instance(
+                instance, solver=solver, session_id=session_id
+            )
+            if runtime.journal is not None:
+                prebuilt = isinstance(solver, Solver)
+                runtime.journal.record_open(
+                    session_id,
+                    instance,
+                    None if prebuilt else solver,
+                    replayable=not prebuilt,
+                )
+            return True
 
     def submit_tasks(self, session_id: str, tasks: Sequence[Task]) -> str:
         """Post additional tasks to an open session mid-stream.
@@ -321,27 +470,34 @@ class ShardedDispatcher:
         :class:`ShardAffinityError` otherwise, with the dispatcher state
         untouched.  Overflow-shard sessions accept any tasks.
         """
-        runtime = self._runtime_for(session_id)
         tasks = list(tasks)
-        cell = self._plan.cell(runtime.shard_id)
-        if cell is not None and tasks:
-            with runtime.lock:
+        with self._locked_session_runtime(session_id) as runtime:
+            cell = self._plan.cell(runtime.shard_id)
+            if cell is not None and tasks:
                 instance = runtime.dispatcher.instance_of(session_id)
-            reach = tasks_reach_bounds(instance, tasks)
-            if reach is None or not self._box_within(reach, cell):
-                raise ShardAffinityError(
-                    f"mid-stream tasks for session {session_id!r} reach outside "
-                    f"shard {runtime.shard_id}'s cell; sessions are pinned — "
-                    "open a new campaign (or use the overflow shard) instead"
-                )
-        with runtime.lock:
-            return runtime.dispatcher.submit_tasks(session_id, tasks)
+                reach = tasks_reach_bounds(instance, tasks)
+                if reach is None or not self._box_within(reach, cell):
+                    raise ShardAffinityError(
+                        f"mid-stream tasks for session {session_id!r} reach "
+                        f"outside shard {runtime.shard_id}'s cell; sessions "
+                        "are pinned — open a new campaign (or use the "
+                        "overflow shard) instead"
+                    )
+            runtime.dispatcher.submit_tasks(session_id, tasks)
+            if runtime.journal is not None:
+                runtime.journal.record_tasks(session_id, tasks)
+            return session_id
 
     def expire_tasks(self, session_id: str, task_ids: Sequence[int]) -> List[int]:
         """Expire overdue tasks in an open session (the TTL sweep)."""
-        runtime = self._runtime_for(session_id)
-        with runtime.lock:
-            return runtime.dispatcher.expire_tasks(session_id, task_ids)
+        with self._locked_session_runtime(session_id) as runtime:
+            expired = runtime.dispatcher.expire_tasks(session_id, task_ids)
+            # Journal the honest abandonments only: replaying them at the
+            # same stream position abandons exactly the same tasks, and an
+            # empty sweep is a no-op not worth an entry.
+            if expired and runtime.journal is not None:
+                runtime.journal.record_expire(session_id, expired)
+            return expired
 
     @property
     def session_ids(self) -> List[str]:
@@ -366,18 +522,29 @@ class ShardedDispatcher:
 
         Under the ``"serial"`` executor (started) the arrival is processed
         inline and the merged per-session deliveries are returned, exactly
-        like :meth:`LTCDispatcher.feed_worker`.  Under ``"thread"`` — or
-        before :meth:`start` — the arrival is only enqueued and ``None``
-        is returned; results surface through :meth:`poll` /
-        :meth:`close` after :meth:`drain`.
+        like :meth:`LTCDispatcher.feed_worker` (deliveries triggered by a
+        crash-recovery replay are an exception: they surface via
+        :meth:`poll` / :meth:`close`, not the return value).  Under
+        ``"thread"`` — or before :meth:`start` — the arrival is only
+        enqueued and ``None`` is returned.  Arrivals routed to a
+        quarantined or failed shard are discarded and counted
+        (:attr:`ShardStatus.arrivals_discarded`).
         """
         if self._stopped:
             raise RuntimeError("the ShardedDispatcher is stopped")
         self._arrivals_offered += 1
-        targets = [self._shards[self._plan.shard_of_point(worker.location)]]
+        geo = self._shards[self._plan.shard_of_point(worker.location)]
         overflow = self._shards[self._plan.overflow_shard]
-        if overflow.dispatcher.session_ids and overflow is not targets[0]:
-            targets.append(overflow)
+        candidates = [geo]
+        if overflow.dispatcher.session_ids and overflow is not geo:
+            candidates.append(overflow)
+        targets = []
+        for runtime in candidates:
+            if runtime.state in _INACTIVE_STATES:
+                with runtime.lock:
+                    runtime.discarded += 1
+                continue
+            targets.append(runtime)
         for runtime in targets:
             runtime.queue.put(worker)
         if self._executor == "serial" and self._started:
@@ -424,12 +591,17 @@ class ShardedDispatcher:
         return statuses
 
     def shard_status(self) -> List[ShardStatus]:
-        """Per-shard state: sessions, metrics, queue depth and shed counts."""
+        """Per-shard state: lifecycle, sessions, metrics, queue counters."""
         statuses: List[ShardStatus] = []
         for shard_id, runtime in sorted(self._shards.items()):
             with runtime.lock:
                 metrics = DispatcherMetrics.merged([runtime.dispatcher.metrics])
                 session_ids = runtime.dispatcher.session_ids
+                state = runtime.state
+                discarded = runtime.discarded
+                journal_entries = (
+                    len(runtime.journal) if runtime.journal is not None else 0
+                )
             statuses.append(
                 ShardStatus(
                     shard_id=shard_id,
@@ -440,6 +612,11 @@ class ShardedDispatcher:
                     arrivals_accepted=runtime.queue.accepted,
                     arrivals_shed=runtime.queue.shed,
                     arrivals_processed=runtime.queue.processed,
+                    state=state,
+                    restarts=self._supervisor.restarts(shard_id),
+                    last_error=self._supervisor.last_error(shard_id),
+                    arrivals_discarded=discarded,
+                    journal_entries=journal_entries,
                 )
             )
         return statuses
@@ -451,18 +628,37 @@ class ShardedDispatcher:
         Counters sum across shards; note ``workers_fed`` counts per-shard
         deliveries, so divide by :attr:`arrivals_offered` (not
         ``workers_fed``) for rates over offered traffic whenever the
-        overflow shard is populated.
+        overflow shard is populated.  Recovery counters (``restarts``,
+        ``replayed_arrivals``, ``quarantined_sessions``) are folded in
+        from the runtime's own fault accounting.
         """
         parts = []
         for runtime in self._shards.values():
             with runtime.lock:
                 parts.append(DispatcherMetrics.merged([runtime.dispatcher.metrics]))
+        with self._control:
+            parts.append(DispatcherMetrics.merged([self._fault_metrics]))
         return DispatcherMetrics.merged(parts)
 
     @property
     def shed_total(self) -> int:
         """Arrivals lost to backpressure across all shard queues."""
         return sum(runtime.queue.shed for runtime in self._shards.values())
+
+    @property
+    def discarded_total(self) -> int:
+        """Arrivals lost to the failure path across all shards."""
+        total = 0
+        for runtime in self._shards.values():
+            with runtime.lock:
+                total += runtime.discarded
+        return total
+
+    @property
+    def recovery_events(self) -> List[RecoveryEvent]:
+        """Completed recovery actions, in completion order (a copy)."""
+        with self._control:
+            return list(self._recovery_events)
 
     def routing_latencies(self) -> Dict[int, List[float]]:
         """Per-shard routing latency samples (``record_latencies=True`` only)."""
@@ -478,17 +674,17 @@ class ShardedDispatcher:
 
     def routed_stream(self, session_id: str) -> List[Worker]:
         """A session's re-indexed sub-stream (``keep_streams=True`` only)."""
-        runtime = self._runtime_for(session_id)
-        with runtime.lock:
+        with self._locked_session_runtime(session_id) as runtime:
             return runtime.dispatcher.routed_stream(session_id)
 
     # -------------------------------------------------------------- closing
 
     def close(self, session_id: str) -> SolveResult:
         """Finalise one session, remove it, and return its solve result."""
-        runtime = self._runtime_for(session_id)
-        with runtime.lock:
+        with self._locked_session_runtime(session_id) as runtime:
             result = runtime.dispatcher.close(session_id)
+            if runtime.journal is not None:
+                runtime.journal.record_close(session_id)
         with self._control:
             del self._shard_of_session[session_id]
         return result
@@ -502,6 +698,14 @@ class ShardedDispatcher:
 
     # ------------------------------------------------------------ internals
 
+    def _make_dispatcher(self) -> LTCDispatcher:
+        return LTCDispatcher(
+            default_solver=self._default_solver,
+            keep_streams=self._keep_streams,
+            candidates=self._candidates_backend,
+            clock=self._clock,
+        )
+
     def _runtime_for(self, session_id: str) -> _ShardRuntime:
         try:
             shard_id = self._shard_of_session[session_id]
@@ -511,6 +715,31 @@ class ShardedDispatcher:
                 f"unknown session {session_id!r}; open sessions: {known}"
             ) from None
         return self._shards[shard_id]
+
+    @contextmanager
+    def _locked_session_runtime(self, session_id: str) -> Iterator[_ShardRuntime]:
+        """Resolve a session's runtime and hold its lock, migration-safe.
+
+        A quarantine migration can move the session to the overflow shard
+        between the map lookup and the lock acquisition; re-resolve until
+        the mapping is stable under the lock (waiting out an in-flight
+        migration on the control condition rather than spinning).
+        """
+        while True:
+            runtime = self._runtime_for(session_id)
+            with runtime.lock:
+                if (
+                    runtime.state != "quarantined"
+                    and self._shard_of_session.get(session_id) == runtime.shard_id
+                ):
+                    yield runtime
+                    return
+            with self._migrated:
+                self._migrated.wait_for(
+                    lambda: self._shard_of_session.get(session_id)
+                    != runtime.shard_id,
+                    timeout=1.0,
+                )
 
     @staticmethod
     def _box_within(inner: BoundingBox, outer: BoundingBox) -> bool:
@@ -524,33 +753,180 @@ class ShardedDispatcher:
     def _process(self, runtime: _ShardRuntime, worker: Worker):
         started = self._clock()
         with runtime.lock:
-            deliveries = runtime.dispatcher.feed_worker(worker)
+            # Write-ahead: journal the arrival *before* the dispatch
+            # attempt, so the arrival in flight when the shard crashes is
+            # replayed rather than lost.
+            if runtime.journal is not None:
+                runtime.journal.record_worker(worker)
+            if self._injector is None:
+                deliveries = runtime.dispatcher.feed_worker(worker)
+            else:
+                deliveries = self._feed_with_faults(runtime, worker)
         if self._record_latencies:
             runtime.latencies.append(self._clock() - started)
         return deliveries
+
+    def _feed_with_faults(self, runtime: _ShardRuntime, worker: Worker):
+        """The injected dispatch attempt, with bounded in-place retry."""
+        ordinal = self._injector.begin_arrival(runtime.shard_id)
+        attempt = 0
+        while True:
+            try:
+                self._injector.raise_for(runtime.shard_id, ordinal, attempt)
+                return runtime.dispatcher.feed_worker(worker)
+            except TransientSolverError:
+                attempt += 1
+                if attempt > self._policy.transient_retries:
+                    raise
 
     def _drain_inline(self, runtime: _ShardRuntime) -> Dict[str, List[Assignment]]:
         """Process a shard's queued backlog on the calling thread."""
         deliveries: Dict[str, List[Assignment]] = {}
         while True:
+            if self._injector is not None and self._injector.stall_active(
+                runtime.shard_id, runtime.queue.processed
+            ):
+                # A stalled serial shard just stops consuming; the backlog
+                # (and any backpressure) becomes observable immediately.
+                return deliveries
             worker = runtime.queue.get(timeout=0.0)
             if worker is None:
                 return deliveries
+            if runtime.state in _INACTIVE_STATES:
+                with runtime.lock:
+                    runtime.discarded += 1
+                runtime.queue.task_done()
+                continue
             try:
                 deliveries.update(self._process(runtime, worker))
+            except BaseException as exc:  # noqa: BLE001 - resolved by policy
+                self._handle_shard_failure(runtime, exc)
             finally:
                 runtime.queue.task_done()
 
     def _drain_loop(self, runtime: _ShardRuntime) -> None:
         """The per-shard thread body: drain until the queue closes."""
         while True:
+            if self._injector is not None:
+                self._injector.wait_stall_release(
+                    runtime.shard_id, runtime.queue.processed
+                )
             worker = runtime.queue.get()
             if worker is None:
                 return
+            if runtime.state in _INACTIVE_STATES:
+                with runtime.lock:
+                    runtime.discarded += 1
+                runtime.queue.task_done()
+                continue
             try:
                 self._process(runtime, worker)
-            except BaseException as exc:  # noqa: BLE001 - surfaced via drain/stop
-                if runtime.error is None:
-                    runtime.error = exc
+            except BaseException as exc:  # noqa: BLE001 - resolved by policy
+                try:
+                    self._handle_shard_failure(runtime, exc)
+                except BaseException as failure:  # noqa: BLE001 - parked
+                    if runtime.error is None:
+                        runtime.error = failure
             finally:
                 runtime.queue.task_done()
+
+    # ------------------------------------------------------------- recovery
+
+    def _handle_shard_failure(
+        self, runtime: _ShardRuntime, error: BaseException
+    ) -> None:
+        """Resolve one shard failure per the recovery policy.
+
+        Returns normally when the shard was recovered (restarted or
+        quarantined); raises the terminal error when the shard fails for
+        good (the serial caller propagates it, the thread loop parks it).
+        """
+        current = error
+        while True:
+            action = self._supervisor.decide(runtime.shard_id, current)
+            if (
+                action == "quarantine"
+                and runtime.shard_id == self._plan.overflow_shard
+            ):
+                # The overflow shard has nowhere to migrate to.
+                action = "fail"
+            if action == "restart" and runtime.journal is not None:
+                started = self._clock()
+                self._supervisor.backoff(runtime.shard_id)
+                with runtime.lock:
+                    runtime.state = "recovering"
+                    fresh = self._make_dispatcher()
+                    try:
+                        replayed = runtime.journal.replay(fresh)
+                    except BaseException as exc:  # noqa: BLE001 - escalates
+                        runtime.state = "failed"
+                        current = exc
+                        continue
+                    # The dead dispatcher's counters are replaced, not
+                    # added to: the replay regenerated them exactly.
+                    runtime.dispatcher = fresh
+                    runtime.state = "live"
+                with self._control:
+                    self._fault_metrics.restarts += 1
+                    self._fault_metrics.replayed_arrivals += replayed
+                    self._recovery_events.append(
+                        RecoveryEvent(
+                            shard_id=runtime.shard_id,
+                            action="restart",
+                            replayed_arrivals=replayed,
+                            duration_seconds=self._clock() - started,
+                            error=repr(current),
+                        )
+                    )
+                return
+            if action == "quarantine" and runtime.journal is not None:
+                try:
+                    self._quarantine(runtime, current)
+                    return
+                except BaseException as exc:  # noqa: BLE001 - falls to fail
+                    current = exc
+            with runtime.lock:
+                runtime.state = "failed"
+                runtime.discarded += runtime.queue.flush()
+            raise current
+
+    def _quarantine(self, runtime: _ShardRuntime, error: BaseException) -> None:
+        """Rebuild a failed shard's sessions and migrate them to overflow."""
+        started = self._clock()
+        overflow = self._shards[self._plan.overflow_shard]
+        with runtime.lock:
+            runtime.state = "quarantined"
+            scratch = self._make_dispatcher()
+            replayed = runtime.journal.replay(scratch)
+            migrated = scratch.session_ids
+            # Discard the dead dispatcher (and its journal) wholesale: the
+            # shard's history now lives in `scratch`, about to move to
+            # overflow; an empty husk keeps poll()/metrics from
+            # double-reporting the migrated sessions.
+            runtime.dispatcher = self._make_dispatcher()
+            runtime.journal = ArrivalJournal()
+            runtime.discarded += runtime.queue.flush()
+        with self._migrated:  # acquires the control lock
+            with overflow.lock:
+                overflow.dispatcher.adopt_sessions(scratch)
+                if overflow.journal is not None:
+                    # The adopted sessions' history is not in overflow's
+                    # journal, so a later overflow replay cannot be exact.
+                    overflow.journal.mark_unreplayable(
+                        f"adopted {len(migrated)} session(s) from "
+                        f"quarantined shard {runtime.shard_id}"
+                    )
+            for session_id in migrated:
+                self._shard_of_session[session_id] = overflow.shard_id
+            self._fault_metrics.quarantined_sessions += len(migrated)
+            self._fault_metrics.replayed_arrivals += replayed
+            self._recovery_events.append(
+                RecoveryEvent(
+                    shard_id=runtime.shard_id,
+                    action="quarantine",
+                    replayed_arrivals=replayed,
+                    duration_seconds=self._clock() - started,
+                    error=repr(error),
+                )
+            )
+            self._migrated.notify_all()

@@ -194,6 +194,24 @@ class BoundedArrivalQueue:
                 lambda: self._unfinished == 0, timeout=timeout
             )
 
+    def flush(self) -> int:
+        """Discard every queued arrival; return how many were dropped.
+
+        The failure path for dead/quarantined shards: the dropped
+        arrivals count as finished for :meth:`join` purposes (they will
+        never reach :meth:`task_done`), so a runtime with a failed shard
+        can still drain cleanly.  The caller owns the discard accounting;
+        these drops are *not* added to the backpressure ``shed`` counters.
+        """
+        with self._lock:
+            dropped = len(self._items)
+            self._items.clear()
+            self._unfinished -= dropped
+            if self._unfinished == 0:
+                self._all_done.notify_all()
+            self._not_full.notify_all()
+            return dropped
+
     def close(self) -> None:
         """Refuse further arrivals and wake everyone.
 

@@ -46,6 +46,18 @@ def test_docs_exist():
     assert len(DOC_FILES) >= 8
 
 
+def test_dispatch_doc_covers_fault_tolerance():
+    """The fault-tolerance contract is documented where users will look."""
+    text = (REPO_ROOT / "docs" / "dispatch.md").read_text(encoding="utf-8")
+    assert "## Fault tolerance" in text
+    for term in ("fail-fast", "restart", "quarantine", "JournalReplayError",
+                 "bench_resilience.py", "BENCH_resilience.json"):
+        assert term in text, f"dispatch.md fault-tolerance docs lost {term!r}"
+    index = (REPO_ROOT / "docs" / "index.md").read_text(encoding="utf-8")
+    assert "RecoveryPolicy" in index
+    assert "BENCH_resilience.json" in index
+
+
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
 def test_relative_links_resolve(doc):
     broken = []

@@ -204,6 +204,77 @@ class TestBoundedArrivalQueue:
         with pytest.raises(ValueError):
             BoundedArrivalQueue(capacity=1, policy="spill")
 
+    def test_close_wakes_blocked_producer(self):
+        queue = BoundedArrivalQueue(capacity=1, policy="block")
+        queue.put("a")
+        outcome = []
+
+        def producer():
+            try:
+                queue.put("b")
+            except QueueClosedError:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        thread.join(timeout=0.05)
+        assert thread.is_alive()  # parked on the full queue
+        queue.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert outcome == ["closed"]
+
+    def test_get_after_close_and_empty_returns_sentinel(self):
+        queue = BoundedArrivalQueue(capacity=2)
+        queue.close()
+        assert queue.get() is None
+        assert queue.get(timeout=0.01) is None  # stays closed, no raise
+
+    def test_flush_discards_backlog_and_unblocks_join(self):
+        queue = BoundedArrivalQueue(capacity=4)
+        for item in "abc":
+            queue.put(item)
+        assert queue.flush() == 3
+        assert queue.join(timeout=0.1)  # no outstanding work remains
+        assert queue.accepted == 3  # admission history is preserved
+        assert queue.shed == 0  # flush is not backpressure shedding
+
+    def test_counters_monotone_under_concurrency(self):
+        queue = BoundedArrivalQueue(capacity=8, policy="block")
+        total = 200
+        samples = []
+
+        def producer():
+            for i in range(total):
+                queue.put(i)
+            queue.close()
+
+        def consumer():
+            while True:
+                item = queue.get(timeout=2.0)
+                if item is None:
+                    break
+                samples.append((queue.accepted, queue.processed))
+                queue.task_done()
+
+        threads = [
+            threading.Thread(target=producer),
+            threading.Thread(target=consumer),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert queue.accepted == total
+        assert queue.processed == total
+        assert queue.shed == 0
+        for (acc0, proc0), (acc1, proc1) in zip(samples, samples[1:]):
+            assert acc1 >= acc0
+            assert proc1 >= proc0
+        for accepted, processed in samples:
+            assert processed <= accepted
+
 
 @pytest.fixture
 def plan():
