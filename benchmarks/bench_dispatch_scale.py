@@ -9,9 +9,13 @@ benchmark measures the honest win on a seeded, replayable multi-city
 workload from :mod:`repro.service.loadgen`:
 
 * **shard_sweep** — the same worker stream through shard plans of 1, 2, 4
-  and 8 geo shards, under both the ``serial`` executor (single-threaded:
-  the speedup is pure routing-work reduction) and the ``thread`` executor
-  (one drain thread per shard on top).  Every lossless run must produce
+  and 8 geo shards, under the ``serial`` executor (single-threaded: the
+  speedup is pure routing-work reduction), the ``thread`` executor (one
+  drain thread per shard on top) and the ``process`` executor (one worker
+  *process* per shard over shared-memory task snapshots — the only rows
+  that can escape the GIL, so on multi-core hosts they carry the scaling
+  story; on a single core the pipe/pickle hop makes them an honest
+  overhead measurement instead).  Every lossless run must produce
   per-session arrangements **byte-identical** to the single-process
   baseline (asserted via fingerprints); throughput, routed fraction and
   routing-latency p50/p99 land in the report.
@@ -59,6 +63,9 @@ DEFAULT_OUTPUT = _common.REPO_ROOT / "BENCH_dispatch_scale.json"
 
 #: Shard-count sweep: shard count -> (cols, rows) over the 4x2 city grid.
 SHARD_GRIDS: Dict[int, Tuple[int, int]] = {1: (1, 1), 2: (2, 1), 4: (2, 2), 8: (4, 2)}
+
+#: Executors swept per shard count (all three keep byte-identity).
+EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
 
 
 def make_config(args) -> ReplayConfig:
@@ -172,7 +179,7 @@ def bench_shard_sweep(workload, shard_counts, repeats, queue_capacity):
     """The headline sweep: timings are medians over interleaved repeats."""
     runners = {"single_process": lambda: run_single_process(workload)}
     for shards in shard_counts:
-        for executor in ("serial", "thread"):
+        for executor in EXECUTORS:
             runners[f"{executor}_{shards}"] = (
                 lambda s=shards, e=executor: run_sharded(
                     workload, s, e, queue_capacity
@@ -327,7 +334,7 @@ def run_suite(args) -> SuiteResult:
     print(f"single_process  wall={base['wall_ms_median']:>9.1f}ms  "
           f"throughput={base['throughput_per_s']:>9.0f}/s")
     for shards in args.shards:
-        for executor in ("serial", "thread"):
+        for executor in EXECUTORS:
             entry = sweep["cases"][f"{executor}_{shards}"]
             print(f"{executor:>6}_{shards}  wall={entry['wall_ms_median']:>9.1f}ms  "
                   f"throughput={entry['throughput_per_s']:>9.0f}/s  "
@@ -350,13 +357,10 @@ def run_suite(args) -> SuiteResult:
         "backpressure": backpressure,
         "ttl": ttl,
     }
-    serial_max = f"serial_{max(args.shards)}"
-    thread_max = f"thread_{max(args.shards)}"
     headline = {
-        "serial_max_shards_vs_single_process":
-            sweep["speedups"][f"{serial_max}_vs_single_process"],
-        "thread_max_shards_vs_single_process":
-            sweep["speedups"][f"{thread_max}_vs_single_process"],
+        f"{executor}_max_shards_vs_single_process":
+            sweep["speedups"][f"{executor}_{max(args.shards)}_vs_single_process"]
+        for executor in EXECUTORS
     }
     config = {
         "cities": config_obj.num_cities,
@@ -417,10 +421,13 @@ SUITE = _common.register_suite(BenchSuite(
         "Sharded dispatch vs a single-process dispatcher on a seeded, "
         "replayable multi-city worker stream (diurnal + burst traffic). "
         "'shard_sweep' feeds the identical stream through 1/2/4/8 geo "
-        "shards under the serial executor (pure routing-work reduction) "
-        "and the thread executor (plus per-shard drain threads); every "
-        "lossless run is asserted byte-identical to the single-process "
-        "baseline via per-session arrangement fingerprints. "
+        "shards under the serial executor (pure routing-work reduction), "
+        "the thread executor (plus per-shard drain threads) and the "
+        "process executor (one worker process per shard over "
+        "shared-memory task snapshots — the only rows that can escape "
+        "the GIL); every lossless run is asserted byte-identical to the "
+        "single-process baseline via per-session arrangement "
+        "fingerprints. "
         "'backpressure' sheds burst traffic through small bounded "
         "queues; 'ttl' expires still-open tasks at a deadline and "
         "reports the completion/abandonment trade."

@@ -58,7 +58,10 @@ from repro.service.sharding import (
     ShardAffinityError,
     ShardedDispatcher,
     ShardPlan,
+    ShardProcessDied,
+    ShardProcessError,
     ShardStatus,
+    process_executor_available,
 )
 
 __all__ = [
@@ -89,4 +92,7 @@ __all__ = [
     "ArrivalJournal",
     "JournalReplayError",
     "FAILURE_POLICIES",
+    "ShardProcessError",
+    "ShardProcessDied",
+    "process_executor_available",
 ]

@@ -1,0 +1,246 @@
+"""Shared-memory export of task snapshots for the process executor.
+
+A shard worker process needs the tasks of every campaign it serves.  The
+engine already keeps tasks as struct-of-arrays
+(:meth:`repro.core.candidate_engine.CandidateEngine.snapshot_arrays`), so
+instead of pickling ``Task`` objects per submit, the parent packs the
+arrays into one :class:`multiprocessing.shared_memory.SharedMemory` block
+and ships only the block *name*; the worker attaches numpy views and
+materialises its own ``Task`` list zero-copy on the wire.
+
+Layout of a block for ``n`` tasks, packed back to back::
+
+    int64[n] task ids | float64[n] xs | float64[n] ys | int8[n] answers
+
+Non-array fields (``description`` / ``metadata``) are rare in serving
+workloads; tasks that carry them ride a small pickled *sidecar* keyed by
+position, so exactness is preserved without widening the hot layout.
+
+Graceful degradation: when numpy or ``multiprocessing.shared_memory`` is
+unavailable (or the batch is empty) the handle carries the tasks inline
+(plain pickle) — same API, no shared segment.  Ownership is explicit: the
+**parent** keeps the returned :class:`ExportedTaskBlock` and must call
+:meth:`ExportedTaskBlock.release` once the worker acknowledged the
+submit; the **worker** attaches without registering the segment with its
+own ``resource_tracker`` (the parent owns the lifecycle) and detaches as
+soon as the tasks are materialised.  ``tests/test_service_shm.py`` pins
+the no-leak contract by probing segment names after drain/stop/crash.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.task import Task
+from repro.geo.point import Point
+
+try:  # pragma: no cover - exercised by monkeypatching in tests
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - wasm/emscripten builds
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Bytes per task in the packed layout (8 id + 8 x + 8 y + 1 answer).
+_BYTES_PER_TASK = 25
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can host shared-memory task snapshots."""
+    if _shared_memory is None:
+        return False
+    return sys.platform not in ("emscripten", "wasi")
+
+
+@dataclass(frozen=True)
+class TaskSnapshotHandle:
+    """A picklable reference to one exported task batch.
+
+    ``mode == "shm"``: the batch lives in the named shared-memory block
+    (``sidecar`` carries the pickled non-array fields, if any).
+    ``mode == "inline"``: the tasks travel inside the handle itself (the
+    pickle fallback).  Either way :func:`attach_tasks` rebuilds the exact
+    ``Task`` sequence, in export order.
+    """
+
+    mode: str
+    count: int
+    shm_name: Optional[str] = None
+    sidecar: Optional[bytes] = None
+    tasks: Optional[Tuple[Task, ...]] = None
+
+
+@dataclass
+class ExportedTaskBlock:
+    """Parent-side ownership of one shared-memory segment.
+
+    ``release()`` closes and unlinks the segment; it is idempotent and
+    safe to call while a worker still holds an attachment (POSIX
+    semantics: the name disappears, existing maps stay valid) — but the
+    protocol releases only after the worker's acknowledgement, so in
+    practice the worker has already detached.
+    """
+
+    shm: object = None
+    released: bool = field(default=False)
+
+    @property
+    def name(self) -> Optional[str]:
+        return None if self.shm is None else self.shm.name
+
+    def release(self) -> None:
+        if self.released or self.shm is None:
+            self.released = True
+            return
+        self.released = True
+        try:
+            self.shm.close()
+        finally:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+def _sidecar_fields(tasks: Sequence[Task]) -> Optional[bytes]:
+    """Pickle the non-default description/metadata fields, keyed by position."""
+    extras: Dict[int, Tuple[str, dict]] = {}
+    for position, task in enumerate(tasks):
+        if task.description or task.metadata:
+            extras[position] = (task.description, dict(task.metadata))
+    if not extras:
+        return None
+    return pickle.dumps(extras, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def export_tasks(tasks: Sequence[Task]) -> Tuple[TaskSnapshotHandle, Optional[ExportedTaskBlock]]:
+    """Export a task batch for a worker process; preserves order exactly.
+
+    Returns ``(handle, block)``.  ``block`` is ``None`` for the inline
+    fallback (numpy or shared memory unavailable, or an empty batch);
+    otherwise the caller owns it and must :meth:`~ExportedTaskBlock.release`
+    it once the receiving worker has acknowledged the batch.
+    """
+    tasks = list(tasks)
+    if not tasks or np is None or not shared_memory_available():
+        return (
+            TaskSnapshotHandle(mode="inline", count=len(tasks),
+                               tasks=tuple(tasks)),
+            None,
+        )
+    count = len(tasks)
+    shm = _shared_memory.SharedMemory(create=True,
+                                      size=count * _BYTES_PER_TASK)
+    try:
+        ids = np.ndarray((count,), dtype=np.int64, buffer=shm.buf, offset=0)
+        xs = np.ndarray((count,), dtype=np.float64, buffer=shm.buf,
+                        offset=8 * count)
+        ys = np.ndarray((count,), dtype=np.float64, buffer=shm.buf,
+                        offset=16 * count)
+        answers = np.ndarray((count,), dtype=np.int8, buffer=shm.buf,
+                             offset=24 * count)
+        for position, task in enumerate(tasks):
+            ids[position] = task.task_id
+            xs[position] = task.location.x
+            ys[position] = task.location.y
+            answers[position] = task.true_answer
+        handle = TaskSnapshotHandle(
+            mode="shm",
+            count=count,
+            shm_name=shm.name,
+            sidecar=_sidecar_fields(tasks),
+        )
+        # Drop the exporting views before handing the buffer over; a
+        # lingering ndarray over shm.buf would block close() on Windows.
+        del ids, xs, ys, answers
+        return handle, ExportedTaskBlock(shm=shm)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+
+
+def _attach(name: str):
+    """Attach to a named segment without resource_tracker registration.
+
+    The parent owns the segment's lifecycle; if the attaching process'
+    tracker also registered it, cleanup would try to unlink it a second
+    time (and, under ``fork`` — where parent and worker share one tracker
+    process — an unregister here would delete the *parent's* registration
+    out from under it).  Python 3.13 grew ``track=``; older versions
+    suppress the registration call itself during the attach.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        registered = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = registered
+
+
+def attach_tasks(handle: TaskSnapshotHandle) -> List[Task]:
+    """Materialise the exported tasks in the worker; detaches immediately."""
+    if handle.mode == "inline":
+        return list(handle.tasks or ())
+    if np is None or _shared_memory is None:  # pragma: no cover - guarded
+        raise RuntimeError(
+            "received a shared-memory task handle but numpy/shared_memory "
+            "is unavailable in this process"
+        )
+    extras: Dict[int, Tuple[str, dict]] = {}
+    if handle.sidecar is not None:
+        extras = pickle.loads(handle.sidecar)
+    count = handle.count
+    shm = _attach(handle.shm_name)
+    try:
+        ids = np.ndarray((count,), dtype=np.int64, buffer=shm.buf, offset=0)
+        xs = np.ndarray((count,), dtype=np.float64, buffer=shm.buf,
+                        offset=8 * count)
+        ys = np.ndarray((count,), dtype=np.float64, buffer=shm.buf,
+                        offset=16 * count)
+        answers = np.ndarray((count,), dtype=np.int8, buffer=shm.buf,
+                             offset=24 * count)
+        tasks: List[Task] = []
+        for position in range(count):
+            description, metadata = extras.get(position, ("", {}))
+            tasks.append(
+                Task(
+                    task_id=int(ids[position]),
+                    location=Point(float(xs[position]), float(ys[position])),
+                    true_answer=int(answers[position]),
+                    description=description,
+                    metadata=metadata,
+                )
+            )
+        del ids, xs, ys, answers
+        return tasks
+    finally:
+        shm.close()
+
+
+def segment_exists(name: str) -> bool:
+    """Probe whether a shared-memory segment name is still linked.
+
+    Test helper for the no-leak contract: after drain/stop (or a failure
+    path) every exported block must have been released, so probing its
+    recorded name must fail.
+    """
+    if _shared_memory is None:
+        return False
+    try:
+        probe = _attach(name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True

@@ -58,6 +58,26 @@ def test_dispatch_doc_covers_fault_tolerance():
     assert "BENCH_resilience.json" in index
 
 
+def test_dispatch_doc_covers_the_process_executor():
+    """The executor comparison and the process crash contract are documented."""
+    text = (REPO_ROOT / "docs" / "dispatch.md").read_text(encoding="utf-8")
+    assert "## Executors" in text
+    for term in (
+        "`process`",
+        "crash domain",
+        "REPRO_SHARD_MP_CONTEXT",
+        "spawn",
+        "shared-memory snapshots",
+        "repro.service.sharding.shm",
+        "worker_traceback",
+        "ShardProcessDied",
+        "test_service_shm.py",
+    ):
+        assert term in text, f"dispatch.md process-executor docs lost {term!r}"
+    bench = (REPO_ROOT / "docs" / "benchmarks.md").read_text(encoding="utf-8")
+    assert "process" in bench
+
+
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
 def test_relative_links_resolve(doc):
     broken = []

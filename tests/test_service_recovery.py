@@ -415,3 +415,96 @@ class TestQuarantine:
         state = {s.shard_id: s.state for s in dispatcher.shard_status()}
         assert state[overflow] == "failed"
         dispatcher.stop()
+
+
+class TestProcessRecovery:
+    """The worker-process failure transport feeds the same bookkeeping.
+
+    A dispatch failure inside a shard's worker process crosses the pipe
+    as a pickled exception plus the worker-side traceback; the
+    supervisor must then record exactly what the thread executor records
+    for the identical fault, and the surfaced exception must carry the
+    worker's traceback for operators.
+    """
+
+    def run_executor(self, plan, executor, faults, policy, num_workers=12):
+        dispatcher = ShardedDispatcher(
+            plan,
+            executor=executor,
+            queue_capacity=256,
+            recovery=policy,
+            faults=faults,
+        )
+        dispatcher.submit_instance(campaign(*CENTERS[0]))
+        for index in range(1, num_workers + 1):
+            dispatcher.feed_worker(city_worker(index))
+        dispatcher.drain(timeout=30.0)
+        return dispatcher
+
+    def test_process_last_error_matches_thread_executor(self, plan):
+        faults = crash_fault(shard_id=0, at_arrival=3)
+        policy = RecoveryPolicy(on_shard_failure="restart")
+        threaded = self.run_executor(plan, "thread", faults, policy)
+        processed = self.run_executor(plan, "process", faults, policy)
+        thread_status = {s.shard_id: s for s in threaded.shard_status()}
+        process_status = {s.shard_id: s for s in processed.shard_status()}
+        assert (
+            process_status[0].last_error
+            == thread_status[0].last_error
+            == repr(InjectedShardCrash("injected crash: shard 0, arrival 3"))
+        )
+        assert process_status[0].restarts == thread_status[0].restarts == 1
+        assert process_status[0].state == "live"
+        assert processed.metrics.restarts == 1
+        threaded.stop()
+        processed.stop()
+
+    def test_surfaced_error_carries_worker_traceback(self, plan):
+        """Fail-fast: the pickled exception resurfaces with the worker's
+        traceback attached, and the no-journal accounting settles."""
+        dispatcher = ShardedDispatcher(
+            plan,
+            executor="process",
+            queue_capacity=256,
+            recovery=RecoveryPolicy(on_shard_failure="fail-fast"),
+            faults=crash_fault(shard_id=0, at_arrival=2),
+        )
+        dispatcher.submit_instance(campaign(*CENTERS[0]))
+        for index in range(1, 7):
+            dispatcher.feed_worker(city_worker(index))
+        with pytest.raises(InjectedShardCrash, match="arrival 2") as info:
+            dispatcher.drain(timeout=30.0)
+        tb = info.value.worker_traceback
+        assert "InjectedShardCrash" in tb
+        assert "_raise_fault" in tb  # genuinely the worker-side frames
+        status = {s.shard_id: s for s in dispatcher.shard_status()}
+        assert status[0].state == "failed"
+        assert "InjectedShardCrash" in status[0].last_error
+        dispatcher.stop()  # the parked error was consumed; stop is clean
+
+    def test_escalated_transient_restarts_like_thread(self, plan):
+        """A transient outliving its retry budget kills the worker; the
+        restart replays and the schedule marches on, as in the thread
+        executor."""
+        faults = FaultPlan(faults=(
+            FaultSpec(
+                kind="transient", shard_id=0, at_arrival=2, failures=5
+            ),
+        ))
+        policy = RecoveryPolicy(
+            on_shard_failure="restart", transient_retries=1
+        )
+        threaded = self.run_executor(plan, "thread", faults, policy)
+        processed = self.run_executor(plan, "process", faults, policy)
+        thread_status = {s.shard_id: s for s in threaded.shard_status()}
+        process_status = {s.shard_id: s for s in processed.shard_status()}
+        assert (
+            process_status[0].last_error == thread_status[0].last_error
+        )
+        assert "injected transient dispatch failure" in (
+            process_status[0].last_error
+        )
+        assert process_status[0].restarts == thread_status[0].restarts
+        assert process_status[0].state == "live"
+        threaded.stop()
+        processed.stop()

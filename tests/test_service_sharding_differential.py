@@ -7,9 +7,12 @@ identical replayable workload through:
 
 * the single-process :class:`~repro.service.LTCDispatcher` (the oracle),
 * the :class:`~repro.service.sharding.ShardedDispatcher` under the
-  ``serial`` executor (the deterministic merge configuration), and
+  ``serial`` executor (the deterministic merge configuration),
 * the ``thread`` executor (cross-shard interleaving is arbitrary, but
-  per-session sub-streams stay FIFO),
+  per-session sub-streams stay FIFO), and
+* the ``process`` executor (each shard's dispatcher in a worker process,
+  task snapshots crossing as shared memory — same FIFO argument, now
+  across a pipe),
 
 and comparing the final per-session arrangements **assignment by
 assignment** (same pairs, same order, same per-session re-indexed worker
@@ -92,7 +95,7 @@ def assert_identical(base, candidate):
 
 
 @pytest.mark.parametrize("solver", ["AAM", "LAF"])
-@pytest.mark.parametrize("executor", ["serial", "thread"])
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
 def test_sharded_matches_single_process(workload, solver, executor):
     base = run_single_process(workload, solver)
     ids, streams, results, _ = run_sharded(workload, solver, executor)
@@ -120,12 +123,15 @@ def test_lossless_runs_shed_nothing(workload):
     assert dispatcher.arrivals_offered == CONFIG.num_workers
 
 
-def test_expiry_is_exact_across_runtimes(workload):
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_expiry_is_exact_across_runtimes(workload, executor):
     """A TTL sweep at the same per-session point yields identical state.
 
     Expiring via the sharded dispatcher and via a single-process
     dispatcher at the same stream position must abandon the same tasks
-    and leave byte-identical arrangements.
+    and leave byte-identical arrangements.  For the asynchronous
+    executors the sharded run drains before the sweep, so the sweep
+    lands at the same per-session stream position as the oracle's.
     """
     cutoff = CONFIG.num_workers // 4
 
@@ -136,6 +142,8 @@ def test_expiry_is_exact_across_runtimes(workload):
             if worker.index > cutoff:
                 break
             dispatcher.feed_worker(worker)
+        if sharded:
+            dispatcher.drain()
         expired = {
             sid: dispatcher.expire_tasks(
                 sid, [t.task_id for t in campaign.tasks]
@@ -149,7 +157,7 @@ def test_expiry_is_exact_across_runtimes(workload):
     base_ids, base_expired, base_results = drive(LTCDispatcher(), sharded=False)
     plan = ShardPlan.for_region(CONFIG.bounds, cols=2, rows=2)
     shard_ids, shard_expired, shard_results = drive(
-        ShardedDispatcher(plan, executor="serial", queue_capacity=8192),
+        ShardedDispatcher(plan, executor=executor, queue_capacity=8192),
         sharded=True,
     )
     for base_id, shard_id in zip(base_ids, shard_ids):
